@@ -1,0 +1,68 @@
+"""Figure 1: the relaxation trend across determinism models.
+
+Regenerates the paper's qualitative Figure 1 quantitatively on the MiniVM
+bug corpus and asserts its shape:
+
+* recording overhead falls monotonically along the chronological
+  relaxation full >= value > output > failure (= 1.0x);
+* ultra-relaxed models lose debugging utility (output determinism fails
+  to reproduce at least one bug);
+* debug determinism (RCSE) reproduces every bug and achieves the highest
+  utility among the relaxed models.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.fig1 import run_fig1
+
+
+@pytest.fixture(scope="module")
+def fig1_tables():
+    return run_fig1()
+
+
+def test_fig1_benchmark(benchmark):
+    cells, summary = run_once(benchmark, run_fig1)
+    print()
+    print(cells.render())
+    print()
+    print(summary.render())
+    _assert_shape(summary)
+
+
+def test_fig1_overhead_ordering(fig1_tables):
+    __, summary = fig1_tables
+    overhead = {r["model"]: r["mean_overhead_x"] for r in summary}
+    assert overhead["full"] >= overhead["value"]
+    assert overhead["value"] > overhead["output"]
+    assert overhead["output"] > overhead["failure"]
+    assert overhead["failure"] == 1.0
+
+
+def test_fig1_ultra_relaxed_lose_utility(fig1_tables):
+    cells, summary = fig1_tables
+    df = {r["model"]: r["mean_DF"] for r in summary}
+    assert df["full"] == 1.0 and df["value"] == 1.0
+    assert df["output"] < 1.0, \
+        "output determinism must miss at least one failure (§2)"
+    # The output-only pitfall shows as a non-reproduced bug.
+    missed = [r for r in cells
+              if r["model"] == "output" and not r["failure_reproduced"]]
+    assert missed
+
+
+def test_fig1_rcse_highest_relaxed_utility(fig1_tables):
+    __, summary = fig1_tables
+    du = {r["model"]: r["mean_DU"] for r in summary}
+    reproduced = {r["model"]: r["bugs_reproduced"] for r in summary}
+    assert du["rcse"] > du["output"]
+    assert du["rcse"] > du["failure"]
+    assert reproduced["rcse"] == reproduced["full"], \
+        "RCSE must reproduce every bug the full recorder does"
+
+
+def _assert_shape(summary):
+    overhead = {r["model"]: r["mean_overhead_x"] for r in summary}
+    assert overhead["failure"] == 1.0
+    assert overhead["full"] > overhead["failure"]

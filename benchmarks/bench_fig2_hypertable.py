@@ -1,0 +1,56 @@
+"""Figure 2: the Hypertable issue-63 case study.
+
+Regenerates the paper's §4 measurement and asserts its shape:
+
+* value determinism: ~3.5x recording overhead, DF = 1;
+* failure determinism: 1.0x overhead, DF = 1/3 (three reachable root
+  causes: migration race, slave crash, client OOM);
+* RCSE with control-plane selection: overhead slightly above the
+  ultra-relaxed models, DF = 1 - "escaping the relaxation curve".
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness.fig2 import run_fig2
+
+
+@pytest.fixture(scope="module")
+def fig2_table():
+    return run_fig2()
+
+
+def test_fig2_benchmark(benchmark):
+    table = run_once(benchmark, run_fig2)
+    print()
+    print(table.render())
+    value = table.lookup(model="value")
+    rcse = table.lookup(model="rcse")
+    failure = table.lookup(model="failure")
+    assert value["DF"] == 1.0 and rcse["DF"] == 1.0
+    assert failure["DF"] == pytest.approx(1 / 3, abs=0.01)
+
+
+def test_fig2_value_overhead_matches_paper_scale(fig2_table):
+    row = fig2_table.lookup(model="value")
+    # The paper measured ~3.5x; the shape requirement is "expensive".
+    assert 2.5 <= row["overhead_x"] <= 4.5
+
+
+def test_fig2_rcse_near_failure_det_overhead(fig2_table):
+    rcse = fig2_table.lookup(model="rcse")
+    value = fig2_table.lookup(model="value")
+    assert rcse["overhead_x"] < 1.8
+    assert rcse["overhead_x"] < value["overhead_x"] / 2
+
+
+def test_fig2_failure_det_reports_wrong_cause(fig2_table):
+    row = fig2_table.lookup(model="failure")
+    assert row["failure_reproduced"]
+    assert "migration-race" not in row["replay_cause"], \
+        "synthesis lands on an alternative cause (crash/OOM)"
+
+
+def test_fig2_rcse_reproduces_true_cause(fig2_table):
+    row = fig2_table.lookup(model="rcse")
+    assert "migration-race" in row["replay_cause"]

@@ -1,0 +1,82 @@
+"""Ablation 3: inference budget versus debugging efficiency.
+
+Ultra-relaxed models shift cost from recording to inference.  This bench
+quantifies that shift on the buggy adder: brute-force input search cost
+grows with the input domain (exponential candidate count), while
+symbolic inference explores paths instead and stays flat - but neither
+fixes the fidelity problem of output determinism.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.apps import adder
+from repro.apps.base import find_failing_seed
+from repro.record import FailureRecorder, record_run
+from repro.replay import ExecutionSynthesizer, InputSpace, SymbolicExecutor
+from repro.replay.search import SearchBudget
+from repro.util.intervals import Interval
+from repro.util.tables import Table
+
+DOMAINS = (4, 8, 12, 16)
+
+
+def run_inference_ablation() -> Table:
+    case = adder.make_case()
+    seed = find_failing_seed(case)
+    log = record_run(case.program, FailureRecorder(), inputs=case.inputs,
+                     seed=seed, scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+    table = Table(["domain_hi", "candidates", "search_attempts",
+                   "search_found", "symbolic_paths", "symbolic_found"],
+                  title="Abl-3: inference effort vs input-domain size")
+    for hi in DOMAINS:
+        domain = Interval(0, hi)
+        space = InputSpace.grid({"in": (2, domain)})
+        synthesizer = ExecutionSynthesizer(
+            space, schedule_seeds=range(1),
+            budget=SearchBudget(max_attempts=5000))
+        result = synthesizer.replay(case.program, log,
+                                    io_spec=case.io_spec)
+        executor = SymbolicExecutor(case.program, input_domain=domain,
+                                    max_paths=2048)
+        inferred = executor.infer_inputs_for_outputs({"out": [5]},
+                                                     channel="in")
+        table.add_row(domain_hi=hi,
+                      candidates=(hi + 1) ** 2,
+                      search_attempts=result.attempts,
+                      search_found=result.found,
+                      symbolic_paths=executor.paths_explored,
+                      symbolic_found=inferred is not None)
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_inference_ablation()
+
+
+def test_inference_ablation_benchmark(benchmark):
+    table = run_once(benchmark, run_inference_ablation)
+    print()
+    print(table.render())
+
+
+def test_search_effort_grows_with_domain(sweep):
+    attempts = sweep.column("search_attempts")
+    assert attempts == sorted(attempts)
+    assert attempts[-1] > attempts[0], \
+        "brute-force inference must pay for a larger input space"
+
+
+def test_search_still_finds_the_failure(sweep):
+    assert all(sweep.column("search_found"))
+
+
+def test_symbolic_explores_paths_not_inputs(sweep):
+    paths = sweep.column("symbolic_paths")
+    attempts = sweep.column("search_attempts")
+    # Path count grows with the (array-fork) domain but remains far below
+    # the brute-force candidate count at the largest domain.
+    assert paths[-1] < attempts[-1]
+    assert all(sweep.column("symbolic_found"))

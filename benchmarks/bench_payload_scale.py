@@ -1,0 +1,74 @@
+"""Ablation 4: overhead vs data-plane payload size.
+
+The asymmetric core of the paper's argument: control-plane traffic is
+(roughly) constant while data-plane traffic scales with the workload, so
+value-determinism recording cost grows with payload size while RCSE's
+stays flat.  This bench sweeps HyperLite's row payload size and measures
+both recorders on the same failing workload.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.distsim.record import RcseDistRecorder, ValueDistRecorder
+from repro.distsim.sim import FaultPlan
+from repro.hypertable.scenario import (CONTROL_CHANNELS, HyperScenario,
+                                       build_scenario, hyperlite_spec)
+from repro.util.tables import Table
+
+PAYLOAD_WORDS = (4, 8, 16, 32)
+
+
+def run_payload_sweep() -> Table:
+    table = Table(["payload_words", "value_overhead_x", "rcse_overhead_x",
+                   "ratio"],
+                  title="Abl-4: recording overhead vs row payload size")
+    for words in PAYLOAD_WORDS:
+        scenario = HyperScenario(payload_words=words)
+
+        def record(recorder):
+            sim = build_scenario(0, FaultPlan.none(), scenario)
+            recorder.attach(sim)
+            trace = sim.run()
+            trace.failure = hyperlite_spec(trace)
+            return recorder.finalize(trace)
+
+        value_log = record(ValueDistRecorder())
+        rcse_log = record(RcseDistRecorder(
+            control_channels=CONTROL_CHANNELS))
+        table.add_row(
+            payload_words=words,
+            value_overhead_x=round(value_log.overhead_factor, 3),
+            rcse_overhead_x=round(rcse_log.overhead_factor, 3),
+            ratio=round(value_log.overhead_factor
+                        / rcse_log.overhead_factor, 3))
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_payload_sweep()
+
+
+def test_payload_scale_benchmark(benchmark):
+    table = run_once(benchmark, run_payload_sweep)
+    print()
+    print(table.render())
+
+
+def test_value_overhead_grows_with_payload(sweep):
+    overheads = sweep.column("value_overhead_x")
+    assert overheads[-1] > overheads[0], \
+        "value determinism pays per data word"
+
+
+def test_rcse_overhead_stays_flat(sweep):
+    overheads = sweep.column("rcse_overhead_x")
+    assert max(overheads) - min(overheads) < 0.5, \
+        "RCSE records order tokens + control payloads, not row data"
+
+
+def test_rcse_advantage_widens(sweep):
+    ratios = sweep.column("ratio")
+    assert ratios[-1] > ratios[0], \
+        "the bigger the data plane, the bigger RCSE's win"

@@ -1,0 +1,76 @@
+"""Ablation 2 (§3.1.1): the control-plane classification threshold.
+
+Sweeps the data-rate threshold used to classify HyperLite's message
+channels and reports, for each setting, which channels land in the
+control plane and what an RCSE recorder then costs.  The useful band is
+wide: any threshold between the ack/metadata rates and the row-payload
+rates yields the paper's configuration.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.planes import classify_rates
+from repro.distsim.record import RcseDistRecorder
+from repro.distsim.sim import FaultPlan
+from repro.hypertable.scenario import (build_scenario, find_failing_seed,
+                                       hyperlite_spec)
+from repro.util.tables import Table
+
+THRESHOLDS = (0.5, 5.0, 15.0, 30.0, 120.0, 500.0)
+
+
+def run_planes_ablation() -> Table:
+    seed = find_failing_seed()
+    training = build_scenario(seed + 1000, FaultPlan.none())
+    rates = training.run().channel_rates()
+
+    table = Table(["threshold", "control_channels", "n_control",
+                   "rcse_overhead_x"],
+                  title="Abl-2: plane-classification threshold sweep")
+    for threshold in THRESHOLDS:
+        classification = classify_rates(rates, threshold)
+        sim = build_scenario(seed, FaultPlan.none())
+        recorder = RcseDistRecorder(
+            control_channels=classification.control)
+        recorder.attach(sim)
+        trace = sim.run()
+        trace.failure = hyperlite_spec(trace)
+        log = recorder.finalize(trace)
+        table.add_row(
+            threshold=threshold,
+            control_channels=",".join(sorted(classification.control)),
+            n_control=len(classification.control),
+            rcse_overhead_x=round(log.overhead_factor, 3))
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_planes_ablation()
+
+
+def test_planes_ablation_benchmark(benchmark):
+    table = run_once(benchmark, run_planes_ablation)
+    print()
+    print(table.render(max_width=60))
+
+
+def test_overhead_grows_with_threshold(sweep):
+    overheads = sweep.column("rcse_overhead_x")
+    assert overheads == sorted(overheads), \
+        "a higher threshold can only add channels to the control plane"
+
+
+def test_moderate_threshold_is_cheap_and_sufficient(sweep):
+    row = sweep.lookup(threshold=15.0)
+    assert "map_update" in row["control_channels"]
+    assert "unload_range" in row["control_channels"]
+    assert "commit" not in row["control_channels"].split(",")
+    assert row["rcse_overhead_x"] < 1.8
+
+
+def test_everything_control_approaches_value_determinism(sweep):
+    everything = sweep.lookup(threshold=500.0)
+    assert everything["rcse_overhead_x"] > 2.5, \
+        "classifying the data plane as control erases RCSE's advantage"

@@ -1,0 +1,23 @@
+"""§2-a: the output-determinism pitfall on the buggy adder.
+
+Output-only replay reproduces output [5] via a correct execution
+(inputs like 1+4), never exhibits the failure, and scores DF = 0.
+"""
+
+from conftest import run_once
+from repro.harness.sec2 import run_sec2_adder
+
+
+def test_sec2_adder_benchmark(benchmark):
+    table = run_once(benchmark, run_sec2_adder)
+    print()
+    print(table.render())
+    assert table.lookup(quantity="DF")["value"] == "0.000"
+    assert table.lookup(
+        quantity="replay reproduced failure")["value"] == "False"
+    replayed = table.lookup(quantity="replayed inputs")["value"]
+    assert replayed != "[2, 2]" and replayed != "None"
+    # Symbolic inference is faster but equally fooled.
+    symbolic = table.lookup(quantity="symbolic inference inputs")["value"]
+    assert symbolic != "None"
+    assert "[2, 2]" not in symbolic

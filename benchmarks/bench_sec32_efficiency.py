@@ -1,0 +1,27 @@
+"""§3.2: debugging efficiency above 1 via execution synthesis.
+
+The original overflow failure happens deep in a long batch; synthesis
+reaches the same crash with a one-request execution, so
+DE = original / (inference + replay) exceeds 1.
+"""
+
+from conftest import run_once
+from repro.harness.sec32 import run_sec32_efficiency
+
+
+def test_sec32_benchmark(benchmark):
+    table = run_once(benchmark, run_sec32_efficiency)
+    print()
+    print(table.render())
+    first = table.lookup(strategy="first-hit")
+    assert first["DE"] > 1.0
+    assert first["debug_cycles"] < first["original_cycles"]
+
+
+def test_de_grows_with_original_length():
+    short = run_sec32_efficiency(long_batch_factor=10)
+    long = run_sec32_efficiency(long_batch_factor=80)
+    de_short = short.lookup(strategy="first-hit")["DE"]
+    de_long = long.lookup(strategy="first-hit")["DE"]
+    assert de_long > de_short, \
+        "the longer the original run, the more synthesis pays off"

@@ -1,0 +1,90 @@
+"""Ablation 1 (§3.1.3): trigger dial-up and dial-down policies.
+
+The paper argues fidelity must dial *down* after quiet periods or a
+misfiring trigger permanently inflates overhead.  This bench measures
+the RCSE recorder on the bank workload under three policies:
+
+* no triggers (code-based selection only) - cheapest, may miss the race;
+* race trigger without dial-down - records everything from first fire;
+* race trigger with dial-down - re-relaxes after a quiet window.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.triggers import PredicateTrigger, RaceTrigger
+from repro.apps import bank
+from repro.apps.base import find_failing_seed
+from repro.record import SelectiveRecorder, record_run
+from repro.util.tables import Table
+
+
+def run_trigger_ablation() -> Table:
+    case = bank.make_case()
+    seed = find_failing_seed(case)
+    table = Table(["policy", "overhead_x", "dialup_windows",
+                   "recorded_steps"],
+                  title="Abl-1: trigger dial-up/dial-down policies")
+
+    def measure(policy, recorder):
+        log = record_run(case.program, recorder, inputs=case.inputs,
+                         seed=seed,
+                         scheduler=case.production_scheduler(seed),
+                         io_spec=case.io_spec)
+        table.add_row(policy=policy,
+                      overhead_x=round(log.overhead_factor, 3),
+                      dialup_windows=len(log.dialup_windows),
+                      recorded_steps=len(log.selective_order))
+        return log
+
+    measure("code-only", SelectiveRecorder(control_plane=case.control_plane))
+    measure("trigger-no-dialdown",
+            SelectiveRecorder(control_plane=case.control_plane,
+                              triggers=[RaceTrigger()]))
+    measure("trigger-dialdown",
+            SelectiveRecorder(control_plane=case.control_plane,
+                              triggers=[RaceTrigger()],
+                              dialdown_quiet_steps=60))
+    # A pathologically misfiring trigger: fires once, very early, on a
+    # benign condition; without dial-down the rest of the run is recorded
+    # at full fidelity for nothing.
+    measure("misfire-no-dialdown",
+            SelectiveRecorder(control_plane=case.control_plane,
+                              triggers=[PredicateTrigger(
+                                  "misfire",
+                                  lambda m, s: s.index == 1)]))
+    measure("misfire-dialdown",
+            SelectiveRecorder(control_plane=case.control_plane,
+                              triggers=[PredicateTrigger(
+                                  "misfire",
+                                  lambda m, s: s.index == 1)],
+                              dialdown_quiet_steps=60))
+    return table
+
+
+@pytest.fixture(scope="module")
+def ablation_table():
+    return run_trigger_ablation()
+
+
+def test_trigger_ablation_benchmark(benchmark):
+    table = run_once(benchmark, run_trigger_ablation)
+    print()
+    print(table.render())
+
+
+def test_dialdown_bounds_misfire_cost(ablation_table):
+    no_dialdown = ablation_table.lookup(policy="misfire-no-dialdown")
+    dialdown = ablation_table.lookup(policy="misfire-dialdown")
+    code_only = ablation_table.lookup(policy="code-only")
+    assert dialdown["overhead_x"] < no_dialdown["overhead_x"], \
+        "dial-down must recover from a misfired trigger"
+    assert no_dialdown["overhead_x"] > 1.5 * code_only["overhead_x"], \
+        "a stuck dial-up is expensive (the §3.1.3 motivation)"
+
+
+def test_triggers_cost_more_than_code_only(ablation_table):
+    code_only = ablation_table.lookup(policy="code-only")
+    triggered = ablation_table.lookup(policy="trigger-no-dialdown")
+    assert triggered["overhead_x"] >= code_only["overhead_x"]
+    assert triggered["dialup_windows"] >= 1

@@ -1,0 +1,12 @@
+"""Shared benchmark helpers.
+
+Experiment benches are macro-benchmarks: each regenerates a paper figure,
+which takes seconds, so they run with a single round instead of the
+pytest-benchmark default calibration loop.
+"""
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with exactly one round/iteration."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

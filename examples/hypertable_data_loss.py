@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The §4 case study end-to-end: Hypertable issue 63 on HyperLite.
+
+Walks the full pipeline of the paper's evaluation:
+
+1. run the concurrent load + migration workload until the data-loss race
+   fires (the load reports success; the dump comes back short);
+2. classify message channels into control/data plane by data rate;
+3. record the failing run under value determinism, RCSE, and failure
+   determinism;
+4. replay each recording and diagnose the root cause the developer
+   would see - reproducing Figure 2.
+
+Run:  python examples/hypertable_data_loss.py
+"""
+
+from repro.analysis.planes import classify_rates
+from repro.distsim.sim import FaultPlan
+from repro.harness.fig2 import RATE_THRESHOLD, run_fig2
+from repro.hypertable.diagnosis import HyperDiagnoser
+from repro.hypertable.scenario import (build_scenario, find_failing_seed,
+                                       hyperlite_spec)
+
+
+def main() -> None:
+    print("=== 1. Reproduce the failure in production ===")
+    seed = find_failing_seed()
+    sim = build_scenario(seed, FaultPlan.none())
+    trace = sim.run()
+    trace.failure = hyperlite_spec(trace)
+    loaded = sum(d["acked"]
+                 for d in trace.annotations_tagged("load-complete"))
+    dumped = trace.outputs["dump_rows"][-1]
+    stale = trace.annotations_tagged("stale-commit")
+    print(f"seed {seed}: loaded {loaded} rows (all acked - load 'looks'")
+    print(f"successful), dump returned {dumped} rows")
+    print(f"failure: {trace.failure}")
+    print(f"{len(stale)} commit(s) were applied by a server that no longer")
+    print(f"owned the range: {[d['row'] for d in stale]}")
+    print(f"diagnosis: {HyperDiagnoser().diagnose(trace, trace.failure)}")
+    print()
+
+    print("=== 2. Control/data-plane classification (§3.1.1) ===")
+    training = build_scenario(seed + 1000, FaultPlan.none()).run()
+    rates = training.channel_rates()
+    classification = classify_rates(rates, RATE_THRESHOLD)
+    for line in classification.describe():
+        print(f"  {line}")
+    print()
+
+    print("=== 3+4. Record and replay under three models (Figure 2) ===")
+    table = run_fig2(seed=seed)
+    print(table.render())
+    print()
+    print("Value determinism pays ~3.5x to log every row payload; failure")
+    print("determinism is free in production but synthesis lands on one of")
+    print("THREE causes that explain the dump shortfall (race, slave crash,")
+    print("client OOM) - fidelity 1/3.  RCSE records per-node processing")
+    print("order plus control-channel data only, and still replays the")
+    print("migration race: debug determinism at near-zero overhead.")
+
+
+if __name__ == "__main__":
+    main()

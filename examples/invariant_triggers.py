@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Data-based selection (§3.1.2): invariants as recording triggers.
+
+Trains a Daikon-style invariant inferencer on passing runs of the bank
+workload (teaching it, among others, that the balance stays
+non-negative), installs the inferred invariants as a recording trigger,
+and shows fidelity dialing up exactly when the overdraft race drives the
+balance below zero.
+
+Run:  python examples/invariant_triggers.py
+"""
+
+from repro.analysis.invariants import InvariantInferencer
+from repro.analysis.triggers import InvariantTrigger
+from repro.apps import bank
+from repro.apps.base import find_failing_seed
+from repro.record import SelectiveRecorder, record_run
+from repro.replay import SelectiveReplayer
+
+
+def main() -> None:
+    case = bank.make_case()
+    print("Guest program (MiniLang):")
+    print(bank.SOURCE)
+
+    print("=== 1. Train invariants on passing production runs ===")
+    inferencer = InvariantInferencer(min_samples=3)
+    trained = 0
+    for seed in range(100):
+        machine = case.run(seed)
+        if machine.failure is None:
+            inferencer.observe_trace(machine.trace)
+            trained += 1
+        if trained == 5:
+            break
+    invariants = inferencer.infer()
+    print(f"trained on {trained} passing runs; inferred "
+          f"{len(invariants)} invariants:")
+    for line in invariants.describe():
+        print(f"  {line}")
+    print()
+
+    print("=== 2. Monitor invariants in production; dial up on violation ===")
+    seed = find_failing_seed(case)
+    trigger = InvariantTrigger(invariants)
+    recorder = SelectiveRecorder(control_plane=case.control_plane,
+                                 triggers=[trigger],
+                                 dialdown_quiet_steps=200)
+    log = record_run(case.program, recorder, inputs=case.inputs,
+                     seed=seed, scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+    print(f"failing seed {seed}: {log.failure}")
+    print(f"invariant violated at step {trigger.fired_at} "
+          f"-> recording dialed up")
+    print(f"dial-up windows: {log.dialup_windows}")
+    print(f"recording overhead: {log.overhead_factor:.2f}x "
+          f"({log.summary()})")
+    print()
+
+    print("=== 3. Replay the selective log ===")
+    replayer = SelectiveReplayer(base_inputs=case.inputs,
+                                 target_failure=log.failure)
+    result = replayer.replay(case.program, log, io_spec=case.io_spec)
+    print(f"replayed failure: {result.failure}")
+    print(f"reproduced: {result.reproduced_failure(log.failure)} "
+          f"(attempts={result.attempts}, divergences={result.divergences})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The §2 adder: why 'same output' is not 'same bug'.
+
+The program prints the sum of two inputs via a lookup table whose (2,2)
+entry is corrupted to 5.  We record the failing run (inputs 2 and 2,
+output 5) with an output-only recorder, then ask an output-deterministic
+replayer for an execution - and watch it return a *correct* run (1+4=5)
+that matches the output but contains no failure at all.
+
+Also shows the smarter route: symbolic execution + constraint solving
+infers inputs matching the output without brute force, and is fooled in
+exactly the same way - the problem is the determinism target, not the
+inference engine.
+
+Run:  python examples/output_determinism_pitfall.py
+"""
+
+from repro.apps import adder
+from repro.apps.base import find_failing_seed
+from repro.record import OutputMode, OutputRecorder, record_run
+from repro.replay import OutputOnlyReplayer, SymbolicExecutor
+from repro.replay.search import SearchBudget
+from repro.util.intervals import Interval
+
+
+def main() -> None:
+    case = adder.make_case()
+    print("Guest program (MiniLang):")
+    print(adder.SOURCE)
+
+    seed = find_failing_seed(case)
+    log = record_run(case.program, OutputRecorder(OutputMode.OUTPUT_ONLY),
+                     inputs=case.inputs, seed=seed,
+                     scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+    print(f"Original run: inputs {case.inputs['in']} -> "
+          f"outputs {log.outputs['out']}")
+    print(f"Failure: {log.failure}")
+    print(f"Recorded: outputs only ({log.summary()})")
+    print()
+
+    print("Output-deterministic replay (search for any run with output 5):")
+    replayer = OutputOnlyReplayer(case.input_space,
+                                  budget=SearchBudget(max_attempts=200))
+    result = replayer.replay(case.program, log, io_spec=case.io_spec)
+    inputs = result.trace.inputs_consumed["in"]
+    print(f"  found after {result.attempts} attempts: inputs {inputs}, "
+          f"outputs {result.trace.outputs['out']}")
+    print(f"  replayed failure: {result.failure}")
+    print(f"  reproduced the original failure: "
+          f"{result.reproduced_failure(log.failure)}")
+    print()
+
+    print("Symbolic inference (path constraints + interval solver):")
+    executor = SymbolicExecutor(case.program, input_domain=Interval(0, 4),
+                                max_paths=256)
+    inferred = executor.infer_inputs_for_outputs({"out": [5]}, channel="in")
+    print(f"  solver proposes inputs: {inferred['in']} "
+          f"(explored {executor.paths_explored} paths)")
+    print()
+    print(f"Both engines reproduce the OUTPUT, but {inputs} and "
+          f"{inferred['in']} sum to 5 correctly -")
+    print("the corrupted table entry is never touched, debugging "
+          "fidelity is 0, and the developer")
+    print("has nothing to debug.  This is the paper's argument for "
+          "requiring failure + root cause,")
+    print("not outputs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro: a reproduction of "Debug Determinism" (HotOS'11).
+
+Public API map
+--------------
+``repro.vm``         MiniVM + MiniLang (the single-machine substrate)
+``repro.record``     recorders, one per determinism model
+``repro.replay``     replayers, search, symbolic execution, synthesis
+``repro.analysis``   races, invariants, planes, root causes, triggers
+``repro.metrics``    debugging fidelity / efficiency / utility
+``repro.distsim``    distributed discrete-event substrate
+``repro.hypertable`` the issue-63 case study system (HyperLite)
+``repro.apps``       the corpus of buggy guest programs
+``repro.harness``    experiment runners for every paper figure
+
+Quick taste::
+
+    from repro.apps import racy_counter
+    from repro.harness.experiments import evaluate_app_model
+
+    case = racy_counter.make_case()
+    print(evaluate_app_model(case, "rcse").row())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["vm", "record", "replay", "analysis", "metrics", "distsim",
+           "hypertable", "apps", "harness", "util", "errors"]

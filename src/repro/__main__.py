@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            list the registered paper experiments
+``run <experiment-id>``    run one experiment and print its table(s)
+``apps``                   list the bug corpus
+``demo <app> [--model M]`` record + replay one corpus bug under a model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(args) -> int:
+    from repro.harness import EXPERIMENTS
+    for name, func in sorted(EXPERIMENTS.items()):
+        doc = (func.__doc__ or "").strip().splitlines()
+        print(f"{name:18s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_experiment
+    result = run_experiment(args.experiment)
+    tables = result if isinstance(result, tuple) else (result,)
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_apps(args) -> int:
+    from repro.apps import ALL_APPS
+    for name, factory in sorted(ALL_APPS.items()):
+        print(f"{name:15s} {factory().description}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.apps import ALL_APPS
+    from repro.harness.experiments import evaluate_app_model
+    if args.app not in ALL_APPS:
+        print(f"unknown app {args.app!r}; see `python -m repro apps`",
+              file=sys.stderr)
+        return 1
+    case = ALL_APPS[args.app]()
+    metrics = evaluate_app_model(case, args.model)
+    print(f"app:                {case.name} - {case.description}")
+    print(f"model:              {metrics.model}")
+    print(f"recording overhead: {metrics.overhead:.3f}x")
+    print(f"failure reproduced: {metrics.failure_reproduced}")
+    print(f"original cause:     {metrics.original_cause}")
+    print(f"replayed cause:     {metrics.replay_cause}")
+    print(f"DF={metrics.fidelity:.3f}  DE={metrics.efficiency:.4f}  "
+          f"DU={metrics.utility:.4f}  (n_causes={metrics.n_causes})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Debug-determinism reproduction: experiments and demos")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("experiments",
+                        help="list paper experiments").set_defaults(
+        func=_cmd_experiments)
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment")
+    run_parser.set_defaults(func=_cmd_run)
+    commands.add_parser("apps", help="list the bug corpus").set_defaults(
+        func=_cmd_apps)
+    demo_parser = commands.add_parser(
+        "demo", help="record+replay one bug under a determinism model")
+    demo_parser.add_argument("app")
+    demo_parser.add_argument("--model", default="rcse",
+                             choices=["full", "value", "output",
+                                      "failure", "rcse"])
+    demo_parser.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

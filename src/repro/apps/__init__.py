@@ -1,0 +1,40 @@
+"""Guest-program corpus: the paper's motivating bugs as MiniLang programs.
+
+=================  ==========================================================
+App                Paper scenario
+=================  ==========================================================
+``adder``          §2: the sum program that prints 5 for inputs 2+2; output
+                   determinism can replay output 5 via inputs 1+4 and miss
+                   the failure entirely (DF = 0).
+``msg_server``     §2: the server that drops messages; the true root cause
+                   is a race on the incoming-message buffer, but a relaxed
+                   replay can blame network congestion instead.
+``overflow``       §3: the buffer-overflow example used to define root
+                   causes as missing fix predicates; also the DE > 1
+                   synthesis demo (shorter executions reach the same crash).
+``racy_counter``   the canonical lost-update race with an assertion failure.
+``bank``           check-then-act overdraft race; training runs keep the
+                   balance non-negative so an inferred invariant violation
+                   is the natural data-based trigger.
+=================  ==========================================================
+
+Each app exports an :class:`~repro.apps.base.AppCase` via ``make_case()``.
+"""
+
+from repro.apps.base import AppCase, find_failing_seed
+from repro.apps import (adder, bank, deadlock, large_request, msg_server,
+                        overflow, racy_counter)
+
+ALL_APPS = {
+    "adder": adder.make_case,
+    "msg_server": msg_server.make_case,
+    "overflow": overflow.make_case,
+    "racy_counter": racy_counter.make_case,
+    "bank": bank.make_case,
+    "deadlock": deadlock.make_case,
+    "large_request": large_request.make_case,
+}
+
+__all__ = ["AppCase", "find_failing_seed", "ALL_APPS",
+           "adder", "msg_server", "overflow", "racy_counter", "bank",
+           "deadlock", "large_request"]

@@ -1,0 +1,94 @@
+"""The §2 adder: prints 5 for inputs 2 and 2.
+
+The defect is a corrupted entry in a precomputed sum table: the slot for
+(2, 2) holds 5.  For any other input pair the program is correct.  The
+I/O spec requires the printed value to equal the true sum of the inputs
+consumed, so the run with inputs (2, 2) fails while (1, 4) does not.
+
+This is the paper's output-determinism counterexample: an
+output-deterministic replayer searching for *any* execution with output
+[5] will typically find a correct run like 1+4 first, reproducing the
+output but not the failure - debugging fidelity 0.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.replay.search import InputSpace
+from repro.util.intervals import Interval
+from repro.vm.compiler import compile_source
+from repro.vm.failures import IOSpec
+
+SOURCE = """
+// Sum-of-two-numbers service with a precomputed lookup table.
+array table[25];
+global initialized = 0;
+
+fn init_table() {
+    var a = 0;
+    while (a < 5) {
+        var b = 0;
+        while (b < 5) {
+            table[a * 5 + b] = a + b;
+            b = b + 1;
+        }
+        a = a + 1;
+    }
+    // The defect: the (2,2) entry was corrupted during an ill-advised
+    // "optimization" patch.  2 + 2 now comes out as 5.
+    table[12] = 5;
+    initialized = 1;
+}
+
+fn main() {
+    init_table();
+    var x = input("in");
+    var y = input("in");
+    // Input validation: the service only sums operands 0..4, and
+    // rejects anything else loudly (a *different* failure signature,
+    // so inference engines cannot fake the sum bug with wild inputs).
+    assert(x <= 4, "x out of range");
+    assert(y <= 4, "y out of range");
+    output("out", table[x * 5 + y]);
+}
+"""
+
+DOMAIN = Interval(0, 4)
+FAILURE_LOCATION = "sum-correct"
+
+
+def make_spec() -> IOSpec:
+    """Output must equal the true sum of the two consumed inputs."""
+    def sum_correct(outputs, inputs) -> bool:
+        consumed = inputs.get("in", [])
+        produced = outputs.get("out", [])
+        if len(consumed) < 2 or len(produced) < 1:
+            return True  # incomplete run: not this clause's business
+        return produced[0] == consumed[0] + consumed[1]
+    return IOSpec().require(FAILURE_LOCATION, sum_correct,
+                            "printed value must equal the input sum")
+
+
+def _diagnose(trace, failure):
+    """The defect is the corrupted table entry, reached only via (2,2)."""
+    for step in trace.steps:
+        for loc, value in step.reads:
+            if loc == ("a", "table", 12) and value == 5:
+                return RootCause("corrupted-table-entry", "table[12]",
+                                 "sum table holds 5 at the (2,2) slot")
+    return None
+
+
+def make_case() -> AppCase:
+    return AppCase(
+        name="adder",
+        program=compile_source(SOURCE),
+        inputs={"in": [2, 2]},
+        io_spec=make_spec(),
+        input_space=InputSpace.grid({"in": (2, DOMAIN)}),
+        control_plane={"main"},
+        diagnoser_rules={FAILURE_LOCATION: _diagnose},
+        known_cause=RootCause("corrupted-table-entry", "table[12]"),
+        description="§2 output-determinism pitfall: 2+2 prints 5",
+    )

@@ -1,0 +1,78 @@
+"""Bank account with a check-then-act overdraft race.
+
+Withdrawals check the balance and then deduct, but the check and the
+deduction are not atomic: two concurrent withdrawals can both pass the
+check and drive the balance negative, violating the bank's core
+invariant.  Deposits keep the balance comfortably positive in correct
+runs, so training traces teach the invariant inferencer ``balance >= 0``
+- making this the showcase for data-based selection (§3.1.2): the
+inferred-invariant monitor fires exactly when the error path begins.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.replay.search import InputSpace
+from repro.vm.compiler import compile_source
+from repro.vm.failures import IOSpec
+
+OPS = 12
+START_BALANCE = 12
+WITHDRAW = 9
+DEPOSIT = 8
+
+SOURCE = f"""
+global balance = {START_BALANCE};
+global overdrafts = 0;
+mutex book;
+
+fn teller(ops) {{
+    while (ops > 0) {{
+        // BUG: the balance check and the deduction are not atomic.  Two
+        // tellers can both pass the check against the same stale balance;
+        // the slower one then deducts from an already-reduced balance and
+        // drives it negative.
+        var current = balance;
+        if (current >= {WITHDRAW}) {{
+            yield;                     // audit logging happens here
+            var fresh = balance;
+            var newbal = fresh - {WITHDRAW};
+            balance = newbal;
+            if (newbal < 0) {{
+                lock(book);
+                overdrafts = overdrafts + 1;
+                unlock(book);
+            }}
+        }}
+        // Matching deposit keeps the book balanced in serial runs.
+        var after = balance;
+        balance = after + {DEPOSIT};
+        ops = ops - 1;
+    }}
+}}
+
+fn main() {{
+    var t1 = spawn teller({OPS});
+    var t2 = spawn teller({OPS});
+    join(t1);
+    join(t2);
+    output("stdout", balance);
+    output("stdout", overdrafts);
+    assert(overdrafts == 0, "negative balance observed");
+}}
+"""
+
+
+def make_case() -> AppCase:
+    return AppCase(
+        name="bank",
+        program=compile_source(SOURCE),
+        inputs={},
+        io_spec=IOSpec(),
+        input_space=InputSpace.fixed({}),
+        control_plane={"main", "auditor"},
+        switch_prob=0.35,
+        known_cause=RootCause("data-race", "('g', 'balance')"),
+        description="check-then-act overdraft race; invariant-trigger demo",
+    )

@@ -1,0 +1,80 @@
+"""Classic lock-ordering deadlock: two resources, two orders.
+
+Two transfer threads move funds between a pair of accounts, each locking
+its source account first - thread 1 locks A then B, thread 2 locks B
+then A.  Under most schedules one thread finishes its critical section
+before the other starts; under an unlucky interleaving each holds one
+lock and waits forever for the other.
+
+The failure is a MiniVM ``DEADLOCK`` report and the root cause a
+lock-cycle - exercising the failure class that neither races nor wrong
+outputs cover, and for which the *schedule* is the entire bug.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.replay.search import InputSpace
+from repro.vm.compiler import compile_source
+from repro.vm.failures import IOSpec
+
+TRANSFERS = 6
+
+SOURCE = f"""
+global account_a = 100;
+global account_b = 100;
+mutex lock_a;
+mutex lock_b;
+
+fn transfer_ab(rounds) {{
+    while (rounds > 0) {{
+        // Locks taken in A-then-B order...
+        lock(lock_a);
+        var amount = 5;
+        lock(lock_b);
+        account_a = account_a - amount;
+        account_b = account_b + amount;
+        unlock(lock_b);
+        unlock(lock_a);
+        rounds = rounds - 1;
+    }}
+}}
+
+fn transfer_ba(rounds) {{
+    while (rounds > 0) {{
+        // ...and here in B-then-A order: the classic cycle.
+        lock(lock_b);
+        var amount = 3;
+        lock(lock_a);
+        account_b = account_b - amount;
+        account_a = account_a + amount;
+        unlock(lock_a);
+        unlock(lock_b);
+        rounds = rounds - 1;
+    }}
+}}
+
+fn main() {{
+    var t1 = spawn transfer_ab({TRANSFERS});
+    var t2 = spawn transfer_ba({TRANSFERS});
+    join(t1);
+    join(t2);
+    output("stdout", account_a);
+    output("stdout", account_b);
+}}
+"""
+
+
+def make_case() -> AppCase:
+    return AppCase(
+        name="deadlock",
+        program=compile_source(SOURCE),
+        inputs={},
+        io_spec=IOSpec(),
+        input_space=InputSpace.fixed({}),
+        control_plane={"main"},
+        switch_prob=0.2,
+        known_cause=RootCause("lock-cycle", ""),
+        description="lock-ordering deadlock between two transfer threads",
+    )

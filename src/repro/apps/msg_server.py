@@ -1,0 +1,168 @@
+"""The §2 message server: drops messages at higher-than-expected rates.
+
+Two producer threads accept messages and enqueue them into a shared ring
+buffer; a consumer dequeues and delivers each message over a lossy
+simulated network.  The delivery count is reported at the end and the
+spec requires every accepted message to be delivered.
+
+Two distinct mechanisms can lose messages:
+
+* **the true defect** - producers read the tail index *outside* the
+  queue mutex (check-then-act race): two producers can claim the same
+  slot, so one message is overwritten and never delivered;
+* **network congestion** - ``net_send`` drops packets with the
+  configured probability, which is "beyond the developer's control".
+
+This is exactly the paper's root-cause-mismatch scenario: a relaxed
+replayer looking only for "fewer deliveries than submissions" can return
+a congestion-only execution and deceive the developer into believing
+nothing can be done, while the real bug (the race) remains.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.races import LocksetDetector
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.replay.search import InputSpace
+from repro.vm.compiler import compile_source
+from repro.vm.failures import IOSpec
+
+MESSAGES_PER_PRODUCER = 12
+TOTAL_MESSAGES = 2 * MESSAGES_PER_PRODUCER
+
+SOURCE = f"""
+array queue[64];
+global qtail = 0;
+global qhead = 0;
+global producers_done = 0;
+global delivered = 0;
+mutex qm;
+
+fn producer(count) {{
+    while (count > 0) {{
+        var msg = input("msg");
+        // Variable-length request parsing/validation before the enqueue
+        // (modelled as spin work) - this is what keeps the two
+        // producers' enqueue windows from always overlapping.
+        var spin = syscall("random", 200);
+        while (spin > 0) {{
+            spin = spin - 1;
+        }}
+        // BUG: the tail index is read outside the lock (check-then-act):
+        // two producers can observe the same slot, and one enqueued
+        // message is silently overwritten.
+        var slot = qtail;
+        queue[slot - (slot / 64) * 64] = msg;
+        lock(qm);
+        qtail = slot + 1;
+        unlock(qm);
+        count = count - 1;
+    }}
+}}
+
+fn consumer() {{
+    var running = 1;
+    while (running) {{
+        lock(qm);
+        var head = qhead;
+        var tail = qtail;
+        if (head < tail) {{
+            var msg = queue[head - (head / 64) * 64];
+            qhead = head + 1;
+            unlock(qm);
+            var ok = syscall("net_send", "deliver", msg);
+            if (ok == 1) {{
+                delivered = delivered + 1;
+            }}
+        }} else {{
+            unlock(qm);
+            if (producers_done == 1) {{
+                running = 0;
+            }} else {{
+                yield;
+            }}
+        }}
+    }}
+}}
+
+fn main() {{
+    var p1 = spawn producer({MESSAGES_PER_PRODUCER});
+    var p2 = spawn producer({MESSAGES_PER_PRODUCER});
+    var c = spawn consumer();
+    join(p1);
+    join(p2);
+    producers_done = 1;
+    join(c);
+    output("stats", delivered);
+}}
+"""
+
+FAILURE_LOCATION = "no-drops"
+
+
+def make_spec() -> IOSpec:
+    """Every accepted message must be delivered."""
+    def no_drops(outputs, inputs) -> bool:
+        submitted = len(inputs.get("msg", []))
+        stats = outputs.get("stats", [])
+        if not stats:
+            return True
+        return stats[-1] == submitted
+    return IOSpec().require(FAILURE_LOCATION, no_drops,
+                            "all accepted messages must be delivered")
+
+
+def _diagnose(trace, failure):
+    """Attribute losses: queue race vs network congestion.
+
+    Count the losses each mechanism explains on *this* execution: slots
+    lost to the tail race are submissions that never advanced the tail;
+    network losses are failed ``net_send`` results.  The race is reported
+    when it explains any loss; otherwise congestion is blamed - exactly
+    the trap in §2 when the replayed run has no race occurrence.
+    """
+    submitted = sum(1 for step in trace.steps
+                    if step.io is not None and step.io[0] == "input"
+                    and step.io[1] == "msg")
+    net_drops = sum(
+        1 for step in trace.steps
+        if step.io is not None and step.io[0] == "syscall"
+        and step.io[1] == "net_send" and step.io[2][1] == 0)
+    final_tail = 0
+    for step in trace.steps:
+        for loc, value in step.writes:
+            if loc == ("g", "qtail"):
+                final_tail = max(final_tail, value)
+    lost_in_queue = submitted - final_tail
+    if lost_in_queue > 0:
+        races = LocksetDetector().run_on_trace(trace)
+        racy_tail = any(r.location == ("g", "qtail") for r in races)
+        site = "producer:qtail" if racy_tail else "queue"
+        return RootCause("data-race", site,
+                         f"{lost_in_queue} message(s) lost to the "
+                         f"unlocked tail-index read")
+    if net_drops > 0:
+        return RootCause("network-congestion", "net_send",
+                         f"{net_drops} packet(s) dropped by the network")
+    return None
+
+
+def make_case(net_drop_rate: float = 0.05) -> AppCase:
+    messages = list(range(1, TOTAL_MESSAGES + 1))
+    # A low preemption rate keeps the tail race a sometimes-firing
+    # heisenbug, so the same observable failure is also reachable through
+    # congestion alone - the §2 root-cause ambiguity.
+    return AppCase(
+        name="msg_server",
+        program=compile_source(SOURCE),
+        inputs={"msg": messages},
+        io_spec=make_spec(),
+        input_space=InputSpace.fixed({"msg": messages}),
+        control_plane={"main"},
+        net_drop_rate=net_drop_rate,
+        switch_prob=0.08,
+        diagnoser_rules={FAILURE_LOCATION: _diagnose},
+        known_cause=RootCause("data-race", "producer:qtail"),
+        description="§2 root-cause mismatch: buffer race vs congestion",
+    )

@@ -1,0 +1,76 @@
+"""The §3 buffer overflow: copying input without a length check.
+
+The request header announces a payload length; the server copies that
+many words into a fixed 8-slot buffer without validating the length -
+the missing check *is* the root-cause predicate the paper uses to define
+root causes.  Requests longer than 8 crash with an out-of-bounds store.
+
+Also the debugging-efficiency demo: the original failing request is
+long, but execution synthesis can reach the same crash with a length-9
+request, yielding a shorter reproduction and DE > 1 (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.replay.search import InputSpace
+from repro.vm.compiler import compile_source
+from repro.vm.failures import IOSpec
+
+SOURCE = """
+array buf[8];
+global processed = 0;
+
+fn handle_request(length) {
+    // BUG: no check of length against the buffer size before copying.
+    var i = 0;
+    while (i < length) {
+        buf[i] = input("req");
+        i = i + 1;
+    }
+    processed = processed + 1;
+}
+
+fn main() {
+    var pending = input("req");    // number of requests in this batch
+    while (pending > 0) {
+        var length = input("req"); // announced payload length
+        handle_request(length);
+        pending = pending - 1;
+    }
+    output("done", processed);
+}
+"""
+
+# The original production batch: two benign requests, then the killer.
+ORIGINAL_BATCH: List[int] = (
+    [3,
+     4, 10, 20, 30, 40,
+     6, 1, 2, 3, 4, 5, 6,
+     20] + list(range(100, 120))
+)
+
+
+def _candidate_batches() -> List[dict]:
+    """What synthesis may try: single-request batches of varying length."""
+    batches = []
+    for length in range(1, 16):
+        payload = list(range(length))
+        batches.append({"req": [1, length] + payload})
+    return batches
+
+
+def make_case() -> AppCase:
+    return AppCase(
+        name="overflow",
+        program=compile_source(SOURCE),
+        inputs={"req": list(ORIGINAL_BATCH)},
+        io_spec=IOSpec(),  # the crash itself is the failure
+        input_space=InputSpace.choices(_candidate_batches()),
+        control_plane={"main"},
+        known_cause=RootCause("missing-bounds-check", "handle_request@2"),
+        description="§3 buffer overflow; DE>1 synthesis demo",
+    )

@@ -1,0 +1,56 @@
+"""The canonical lost-update race: two unlocked increments.
+
+Two workers increment a shared counter without synchronization; the main
+thread asserts the final total.  Under preemptive scheduling the
+load-increment-store sequences interleave and updates are lost, so the
+assertion fails on race-exercising schedules and passes on others - the
+classic hard-to-reproduce heisenbug that motivates replay debugging.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.replay.search import InputSpace
+from repro.vm.compiler import compile_source
+from repro.vm.failures import IOSpec
+
+ITERS = 30
+EXPECTED = 2 * ITERS
+
+SOURCE = f"""
+global counter = 0;
+
+fn worker(iters) {{
+    while (iters > 0) {{
+        // BUG: unlocked read-modify-write of the shared counter.
+        counter = counter + 1;
+        iters = iters - 1;
+    }}
+}}
+
+fn main() {{
+    var t1 = spawn worker({ITERS});
+    var t2 = spawn worker({ITERS});
+    join(t1);
+    join(t2);
+    output("stdout", counter);
+    assert(counter == {EXPECTED}, "lost update");
+}}
+"""
+
+
+def make_case() -> AppCase:
+    # With rare preemption the lost update fires on roughly a third of
+    # the seeds: a genuine heisenbug that passes under most schedules.
+    return AppCase(
+        name="racy_counter",
+        program=compile_source(SOURCE),
+        inputs={},
+        io_spec=IOSpec(),
+        input_space=InputSpace.fixed({}),
+        control_plane={"main"},
+        switch_prob=0.02,
+        known_cause=RootCause("data-race", "('g', 'counter')"),
+        description="lost-update race with a final assertion",
+    )

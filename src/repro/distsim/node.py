@@ -1,0 +1,62 @@
+"""Node base class for DistSim processes."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+
+class Node:
+    """A simulated process: message handlers, timers, local state.
+
+    Subclasses implement ``handle_<channel>(src, body)`` methods; the
+    dispatcher routes incoming messages by channel name.  Timers route to
+    ``timer_<name>(body)``.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sim = None
+        self.crashed = False
+
+    def attach(self, sim) -> None:
+        self.sim = sim
+
+    # -- actions ----------------------------------------------------------
+
+    def send(self, dst: str, channel: str, body: Any = None) -> None:
+        self.sim.send(self.name, dst, channel, body)
+
+    def set_timer(self, delay: float, name: str, body: Any = None) -> None:
+        self.sim.set_timer(self.name, delay, name, body)
+
+    def output(self, channel: str, value: Any) -> None:
+        self.sim.output(channel, value)
+
+    def annotate(self, tag: str, **details: Any) -> None:
+        self.sim.trace.annotate(tag, node=self.name, **details)
+
+    @property
+    def rng(self):
+        return self.sim.node_rng
+
+    @property
+    def now(self) -> float:
+        return self.sim.clock
+
+    # -- dispatch ------------------------------------------------------------
+
+    def on_message(self, src: str, channel: str, body: Any) -> None:
+        handler = getattr(self, f"handle_{channel}", None)
+        if handler is None:
+            raise SimulationError(
+                f"{self.name} has no handler for channel {channel!r}")
+        handler(src, body)
+
+    def on_timer(self, name: str, body: Any) -> None:
+        handler = getattr(self, f"timer_{name}", None)
+        if handler is None:
+            raise SimulationError(
+                f"{self.name} has no handler for timer {name!r}")
+        handler(body)

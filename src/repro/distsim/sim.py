@@ -1,0 +1,254 @@
+"""The discrete-event simulator core.
+
+Design notes
+------------
+* The event heap is ordered by ``(time, seq)`` where ``seq`` is a global
+  monotonic counter, so simultaneous events dispatch in a deterministic
+  order and the whole simulation is a pure function of its seed.
+* Message latency is ``base + exponential jitter`` drawn from a
+  per-simulation RNG stream; drops are Bernoulli draws from another
+  stream.  Replays that must *not* re-randomize simply force the
+  dispatch order recorded by a recorder (see ``forced_order``).
+* Each dispatched message charges ``handler_base + payload_units`` cost
+  units - the simulated analogue of MiniVM's cycle meter, and the
+  denominator of recording-overhead factors.
+* A :class:`FaultPlan` injects node crashes and client resource limits;
+  fault plans are part of the execution-search space for synthesis, which
+  is how "a slave crashed" becomes a *root cause candidate* rather than a
+  fixed property of the workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.util.rng import DeterministicRng
+from repro.distsim.trace import (CrashRecord, DeliveryRecord, DistTrace,
+                                 payload_units)
+
+
+@dataclass
+class SimConfig:
+    """Tunables for network behaviour and cost accounting."""
+
+    base_latency: float = 1.0
+    jitter_mean: float = 0.8
+    drop_rate: float = 0.0
+    handler_base_cost: int = 4
+    max_events: int = 200_000
+
+
+@dataclass
+class FaultPlan:
+    """Injected faults: node crashes and per-node resource limits."""
+
+    # node name -> simulated time at which it crashes
+    crashes: Dict[str, float] = field(default_factory=dict)
+    # node name -> memory budget in payload words (None = unlimited)
+    memory_limits: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        return FaultPlan()
+
+    def describe(self) -> str:
+        parts = []
+        if self.crashes:
+            parts.append("crash " + ", ".join(
+                f"{n}@{t:g}" for n, t in sorted(self.crashes.items())))
+        if self.memory_limits:
+            parts.append("memlimit " + ", ".join(
+                f"{n}={v}" for n, v in sorted(self.memory_limits.items())))
+        return "; ".join(parts) or "no faults"
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    kind: str = field(compare=False)            # "message" | "timer"
+    payload: Any = field(compare=False, default=None)
+
+
+@dataclass
+class _Message:
+    src: str
+    dst: str
+    channel: str
+    body: Any
+    # Sender-side per-(src, channel) sequence number: deterministic
+    # across runs of the same workload, it lets order-forcing replay
+    # identify *which* in-flight message a recorded token refers to
+    # (the analogue of a connection byte offset in a real recorder).
+    src_seq: int = 0
+
+
+@dataclass
+class _Timer:
+    node: str
+    name: str
+    body: Any
+    src_seq: int = 0
+
+
+class Simulator:
+    """One distributed execution in progress."""
+
+    def __init__(self, seed: int = 0,
+                 config: Optional[SimConfig] = None,
+                 faults: Optional[FaultPlan] = None):
+        self.seed = seed
+        self.config = config or SimConfig()
+        self.faults = faults or FaultPlan.none()
+        self.clock = 0.0
+        self.trace = DistTrace()
+        self.nodes: Dict[str, "Node"] = {}
+        self._heap: List[_Event] = []
+        self._seq = 0
+        root = DeterministicRng(seed, "distsim")
+        self._latency_rng = root.split("latency")
+        self._drop_rng = root.split("drops")
+        self.node_rng = root.split("nodes")
+        self._dispatched = 0
+        self._send_seqs: Dict[Tuple[str, str], int] = {}
+        # Optional order-forcing hook installed by replayers: a callable
+        # deciding which pending message event dispatches next.
+        self.order_controller: Optional["OrderController"] = None
+        self._observers: List[Callable[["Simulator", DeliveryRecord],
+                                       None]] = []
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node: "Node") -> "Node":
+        if node.name in self.nodes:
+            raise SimulationError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        node.attach(self)
+        crash_at = self.faults.crashes.get(node.name)
+        if crash_at is not None:
+            self._push(crash_at, "crash", node.name)
+        return node
+
+    def add_observer(self, observer: Callable[["Simulator", DeliveryRecord],
+                                              None]) -> None:
+        self._observers.append(observer)
+
+    # -- event scheduling ------------------------------------------------------
+
+    def _push(self, time: float, kind: str, payload: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, _Event(time, self._seq, kind, payload))
+
+    def send(self, src: str, dst: str, channel: str, body: Any) -> None:
+        """Send a message; latency/drops drawn from seeded streams."""
+        if dst not in self.nodes:
+            raise SimulationError(f"unknown destination {dst!r}")
+        units = payload_units(body)
+        key = (src, channel)
+        src_seq = self._send_seqs.get(key, 0)
+        self._send_seqs[key] = src_seq + 1
+        if (self.config.drop_rate > 0
+                and self._drop_rng.chance(self.config.drop_rate)):
+            self.trace.deliveries.append(DeliveryRecord(
+                seq=-1, time=self.clock, src=src, dst=dst,
+                channel=channel, payload=body, units=units, dropped=True,
+                src_seq=src_seq))
+            return
+        latency = (self.config.base_latency
+                   + self._latency_rng.expovariate(self.config.jitter_mean))
+        self._push(self.clock + latency, "message",
+                   _Message(src, dst, channel, body, src_seq))
+
+    def set_timer(self, node: str, delay: float, name: str,
+                  body: Any = None) -> None:
+        key = (node, f"timer:{name}")
+        src_seq = self._send_seqs.get(key, 0)
+        self._send_seqs[key] = src_seq + 1
+        self._push(self.clock + delay, "timer",
+                   _Timer(node, name, body, src_seq))
+
+    def output(self, channel: str, value: Any) -> None:
+        """Record an externally visible output (client-side results)."""
+        self.trace.outputs.setdefault(channel, []).append(value)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> DistTrace:
+        while self._heap:
+            if self._dispatched >= self.config.max_events:
+                raise SimulationError("event budget exhausted")
+            event = self._pop_next()
+            if event is None:
+                break
+            if until is not None and event.time > until:
+                break
+            self.clock = max(self.clock, event.time)
+            self._dispatch(event)
+        self.trace.end_time = self.clock
+        return self.trace
+
+    def _pop_next(self) -> Optional[_Event]:
+        if self.order_controller is None:
+            return heapq.heappop(self._heap)
+        return self.order_controller.pop_next(self, self._heap)
+
+    def _dispatch(self, event: _Event) -> None:
+        self._dispatched += 1
+        if event.kind == "crash":
+            self._dispatch_crash(event)
+            return
+        if event.kind == "timer":
+            timer: _Timer = event.payload
+            node = self.nodes[timer.node]
+            if node.crashed:
+                return
+            record = DeliveryRecord(
+                seq=self._dispatched, time=event.time, src=timer.node,
+                dst=timer.node, channel=f"timer:{timer.name}",
+                payload=None, units=0, src_seq=timer.src_seq)
+            self.trace.deliveries.append(record)
+            self.trace.native_cost += self.config.handler_base_cost
+            node.on_timer(timer.name, timer.body)
+            for observer in self._observers:
+                observer(self, record)
+            return
+        message: _Message = event.payload
+        node = self.nodes[message.dst]
+        units = payload_units(message.body)
+        record = DeliveryRecord(
+            seq=self._dispatched, time=event.time, src=message.src,
+            dst=message.dst, channel=message.channel,
+            payload=message.body, units=units, src_seq=message.src_seq)
+        if node.crashed:
+            record.dropped = True
+            self.trace.deliveries.append(record)
+            return
+        self.trace.deliveries.append(record)
+        self.trace.native_cost += self.config.handler_base_cost + units
+        node.on_message(message.src, message.channel, message.body)
+        for observer in self._observers:
+            observer(self, record)
+
+    def _dispatch_crash(self, event: _Event) -> None:
+        name = event.payload
+        node = self.nodes[name]
+        node.crashed = True
+        self.trace.crashes.append(
+            CrashRecord(seq=self._dispatched, time=event.time, node=name))
+        self.trace.annotate("crash", node=name, time=event.time)
+
+
+class OrderController:
+    """Replayer hook: choose which pending message dispatches next.
+
+    ``pop_next`` receives the live heap and must return one event (after
+    removing it).  Timers and crashes keep their natural time order; only
+    message dispatch order is forced.
+    """
+
+    def pop_next(self, sim: Simulator,
+                 heap: List[_Event]) -> Optional[_Event]:
+        raise NotImplementedError

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``, ``KeyError``, ...) in their own code.
+
+Guest-program failures (assertion violations, memory errors inside MiniVM
+programs) are *not* Python exceptions: they are modelled as
+:class:`repro.vm.failures.FailureReport` values, because a failing guest is
+a normal, expected outcome for a debugging tool.  The exceptions here signal
+misuse of the library itself or internal invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProgramError(ReproError):
+    """A MiniVM program is malformed (bad label, bad operand, bad function)."""
+
+
+class AssemblerError(ProgramError):
+    """Raised when assembly-language source cannot be assembled."""
+
+
+class CompileError(ProgramError):
+    """Raised when MiniLang source cannot be compiled.
+
+    Carries an optional source position so tooling can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        position = f" (line {line}, col {column})" if line else ""
+        super().__init__(message + position)
+        self.line = line
+        self.column = column
+
+
+class MachineError(ReproError):
+    """The VM was driven incorrectly (stepping a finished machine, etc.)."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler made an illegal choice (blocked/unknown thread)."""
+
+
+class ReplayDivergenceError(ReproError):
+    """A replay run diverged from the recorded log.
+
+    Raised by strict replayers when the execution being reconstructed
+    no longer matches the recording (e.g. the log says thread 2 runs but
+    thread 2 is blocked).  Relaxed replayers generally *tolerate*
+    divergence - that is the point of the paper - so only deterministic
+    replay raises this.
+    """
+
+
+class InferenceBudgetExceeded(ReproError):
+    """An inference/search engine exhausted its step budget.
+
+    The search state at exhaustion is reported so callers can decide to
+    retry with a larger budget (the paper's 'prohibitively large
+    post-factum analysis times' failure mode).
+    """
+
+    def __init__(self, message: str, explored: int = 0, budget: int = 0):
+        super().__init__(message)
+        self.explored = explored
+        self.budget = budget
+
+
+class SolverError(ReproError):
+    """The constraint solver was given an ill-formed constraint system."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven incorrectly."""
+
+
+class SpecError(ReproError):
+    """An I/O specification is malformed or cannot be evaluated."""

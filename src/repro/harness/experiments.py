@@ -1,0 +1,122 @@
+"""Shared experiment machinery: evaluate one (app, model) cell."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.analysis.rootcause import (Diagnoser, enumerate_root_causes)
+from repro.analysis.triggers import RaceTrigger
+from repro.apps.base import AppCase, find_failing_seed
+from repro.metrics import DebuggingMetrics, evaluate_replay
+from repro.record import (FailureRecorder, FullRecorder, OutputRecorder,
+                          OutputMode, SelectiveRecorder, ValueRecorder,
+                          record_run)
+from repro.replay import (DeterministicReplayer, ExecutionSynthesizer,
+                          OdrReplayer, SelectiveReplayer, ValueReplayer)
+from repro.replay.search import ExecutionSearch, SearchBudget
+
+MODEL_ORDER = ("full", "value", "output", "failure", "rcse")
+
+# Chronological relaxation order used by Figure 1's x-axis annotations.
+CHRONOLOGY = {"full": 0, "value": 1, "output": 2, "failure": 3, "rcse": 4}
+
+
+def make_recorder(model: str, case: AppCase):
+    """Instantiate the recorder implementing one determinism model."""
+    if model == "full":
+        return FullRecorder()
+    if model == "value":
+        return ValueRecorder()
+    if model == "output":
+        return OutputRecorder(OutputMode.IO_PATH_SCHED)
+    if model == "failure":
+        return FailureRecorder()
+    if model == "rcse":
+        return SelectiveRecorder(
+            control_plane=case.control_plane,
+            triggers=[RaceTrigger()],
+            dialdown_quiet_steps=400)
+    raise ValueError(f"unknown model {model!r}")
+
+
+def make_replayer(model: str, case: AppCase, log):
+    """Instantiate the replayer matching one determinism model."""
+    if model == "full":
+        return DeterministicReplayer()
+    if model == "value":
+        return ValueReplayer()
+    if model == "output":
+        return OdrReplayer(inner_seeds=range(48))
+    if model == "failure":
+        return ExecutionSynthesizer(
+            case.input_space, schedule_seeds=range(48),
+            net_drop_rate=case.net_drop_rate,
+            budget=SearchBudget(max_attempts=600))
+    if model == "rcse":
+        return SelectiveReplayer(
+            base_inputs=case.inputs,
+            net_drop_rate=case.net_drop_rate,
+            target_failure=log.failure)
+    raise ValueError(f"unknown model {model!r}")
+
+
+_CAUSE_COUNT_CACHE: Dict[Tuple[str, str], int] = {}
+
+
+def count_root_causes(case: AppCase, failure,
+                      max_attempts: int = 120) -> int:
+    """The paper's ``n``: distinct root causes reachable for a failure."""
+    key = (case.name, failure.location)
+    if key in _CAUSE_COUNT_CACHE:
+        return _CAUSE_COUNT_CACHE[key]
+    search = ExecutionSearch(
+        case.program, case.input_space, schedule_seeds=range(24),
+        io_spec=case.io_spec, net_drop_rate=case.net_drop_rate,
+        switch_prob=case.switch_prob)
+    causes = enumerate_root_causes(
+        search, failure,
+        diagnoser=Diagnoser(extra_rules=case.diagnoser_rules),
+        budget=SearchBudget(max_attempts=max_attempts))
+    count = max(len(causes), 1)
+    _CAUSE_COUNT_CACHE[key] = count
+    return count
+
+
+def evaluate_app_model(case: AppCase, model: str,
+                       seed: Optional[int] = None,
+                       seeds: Iterable[int] = range(200)
+                       ) -> DebuggingMetrics:
+    """Record a failing production run under ``model``, replay, score."""
+    if seed is None:
+        seed = find_failing_seed(case, seeds)
+        if seed is None:
+            raise RuntimeError(f"{case.name}: no failing seed found")
+    recorder = make_recorder(model, case)
+    log = record_run(
+        case.program, recorder,
+        inputs={k: list(v) for k, v in case.inputs.items()},
+        seed=seed, scheduler=case.production_scheduler(seed),
+        io_spec=case.io_spec,
+        net_drop_rate=case.net_drop_rate)
+    if log.failure is None:
+        raise RuntimeError(
+            f"{case.name}: seed {seed} did not fail under recording")
+    diagnoser = Diagnoser(extra_rules=case.diagnoser_rules)
+    # Re-derive the original trace for diagnosis from a full trace run:
+    # recording does not perturb execution (observers are passive), so
+    # the recorded run and this run are the same execution.
+    original = case.run(seed)
+    original_cause = diagnoser.diagnose(original.trace, original.failure)
+    replayer = make_replayer(model, case, log)
+    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
+    n_causes = count_root_causes(case, log.failure)
+    return evaluate_replay(
+        model=model,
+        overhead=log.overhead_factor,
+        original_failure=log.failure,
+        original_cause=original_cause,
+        original_cycles=log.native_cycles,
+        replay=replay,
+        n_causes=n_causes,
+        diagnoser=diagnoser,
+    )

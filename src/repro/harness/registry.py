@@ -1,0 +1,27 @@
+"""Experiment registry: every paper figure keyed by id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.harness.fig1 import run_fig1
+from repro.harness.fig2 import run_fig2
+from repro.harness.sec2 import run_sec2_adder, run_sec2_msgserver
+from repro.harness.sec32 import run_sec32_efficiency
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "sec2_adder": run_sec2_adder,
+    "sec2_msgserver": run_sec2_msgserver,
+    "sec32_efficiency": run_sec32_efficiency,
+}
+
+
+def run_experiment(experiment_id: str):
+    """Run one registered experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id]()

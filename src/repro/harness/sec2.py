@@ -1,0 +1,131 @@
+"""§2 experiments: the two over-relaxation parables, measured.
+
+``run_sec2_adder``: an output-only-deterministic replay of the 2+2=5 run
+reproduces output [5] through a *correct* execution (e.g. 1+4) and never
+shows the failure - DF = 0.  Symbolic inference finds the same wrong
+answer faster, demonstrating that better inference does not fix a broken
+determinism target.
+
+``run_sec2_msgserver``: a failure-deterministic replay of the
+message-drop failure can return an execution whose drops come from
+network congestion rather than the buffer race - same failure, different
+root cause, DF = 1/n.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.rootcause import Diagnoser
+from repro.apps import adder, msg_server
+from repro.apps.base import find_failing_seed
+from repro.harness.experiments import count_root_causes
+from repro.metrics import evaluate_replay
+from repro.record import (FailureRecorder, OutputMode, OutputRecorder,
+                          record_run)
+from repro.replay import (ExecutionSynthesizer, OutputOnlyReplayer,
+                          SymbolicExecutor)
+from repro.replay.search import SearchBudget
+from repro.util.tables import Table
+
+
+def run_sec2_adder() -> Table:
+    """Output determinism on the buggy adder: same output, no failure."""
+    case = adder.make_case()
+    seed = find_failing_seed(case)
+    recorder = OutputRecorder(OutputMode.OUTPUT_ONLY)
+    log = record_run(case.program, recorder, inputs=case.inputs,
+                     seed=seed, scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+    diagnoser = Diagnoser(extra_rules=case.diagnoser_rules)
+    original = case.run(seed)
+    original_cause = diagnoser.diagnose(original.trace, original.failure)
+
+    replayer = OutputOnlyReplayer(case.input_space,
+                                  budget=SearchBudget(max_attempts=200))
+    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
+    metrics = evaluate_replay(
+        model="output-only", overhead=log.overhead_factor,
+        original_failure=log.failure, original_cause=original_cause,
+        original_cycles=log.native_cycles, replay=replay,
+        n_causes=count_root_causes(case, log.failure),
+        diagnoser=diagnoser)
+
+    replayed_inputs = (replay.trace.inputs_consumed.get("in")
+                       if replay.trace else None)
+    table = Table(["quantity", "value"],
+                  title="§2-a output-determinism pitfall (buggy adder)")
+    table.add_row(quantity="original inputs", value=str(case.inputs["in"]))
+    table.add_row(quantity="original output",
+                  value=str(log.outputs.get("out")))
+    table.add_row(quantity="replayed inputs", value=str(replayed_inputs))
+    table.add_row(quantity="replay reproduced failure",
+                  value=str(metrics.failure_reproduced))
+    table.add_row(quantity="DF", value=f"{metrics.fidelity:.3f}")
+    table.add_row(quantity="search attempts", value=str(replay.attempts))
+    table.add_row(quantity="symbolic inference inputs",
+                  value=str(_symbolic_inference(case, log)))
+    return table
+
+
+def _symbolic_inference(case, log) -> Optional[dict]:
+    """ODR's smarter inference: solve for inputs matching the outputs.
+
+    Still subject to the same pitfall: the solver returns *some* inputs
+    with output 5, with no reason to prefer the failing pair.
+    """
+    from repro.util.intervals import Interval
+    executor = SymbolicExecutor(case.program,
+                                input_domain=Interval(0, 4),
+                                max_paths=64)
+    target = {channel: list(values)
+              for channel, values in log.outputs.items()}
+    return executor.infer_inputs_for_outputs(target, channel="in")
+
+
+def run_sec2_msgserver() -> Table:
+    """Failure determinism on the message server: wrong root cause."""
+    case = msg_server.make_case()
+    diagnoser = Diagnoser(extra_rules=case.diagnoser_rules)
+
+    # Pick a failing run whose true cause is the queue race.
+    def race_caused(machine) -> bool:
+        cause = diagnoser.diagnose(machine.trace, machine.failure)
+        return cause is not None and cause.kind == "data-race"
+
+    seed = find_failing_seed(case, accept=race_caused)
+    log = record_run(case.program, FailureRecorder(), inputs=case.inputs,
+                     seed=seed, scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec,
+                     net_drop_rate=case.net_drop_rate)
+    original = case.run(seed)
+    original_cause = diagnoser.diagnose(original.trace, original.failure)
+
+    # ESD-style synthesis: the inference engine guesses an environment -
+    # a gentler scheduler and a lossier network than production - so the
+    # execution it finds tends to lose messages to congestion, not to
+    # the race.  Same failure, different root cause.
+    replayer = ExecutionSynthesizer(
+        case.input_space, schedule_seeds=range(64),
+        net_drop_rate=max(case.net_drop_rate, 0.12),
+        switch_prob=0.02,
+        budget=SearchBudget(max_attempts=400))
+    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
+    metrics = evaluate_replay(
+        model="failure", overhead=log.overhead_factor,
+        original_failure=log.failure, original_cause=original_cause,
+        original_cycles=log.native_cycles, replay=replay,
+        n_causes=count_root_causes(case, log.failure),
+        diagnoser=diagnoser)
+
+    table = Table(["quantity", "value"],
+                  title="§2-b root-cause mismatch (message server)")
+    table.add_row(quantity="original cause", value=str(original_cause))
+    table.add_row(quantity="replay cause", value=str(metrics.replay_cause))
+    table.add_row(quantity="failure reproduced",
+                  value=str(metrics.failure_reproduced))
+    table.add_row(quantity="n causes", value=str(metrics.n_causes))
+    table.add_row(quantity="DF", value=f"{metrics.fidelity:.3f}")
+    table.add_row(quantity="recording overhead",
+                  value=f"{metrics.overhead:.3f}x")
+    return table

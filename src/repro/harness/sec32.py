@@ -1,0 +1,62 @@
+"""§3.2: debugging efficiency can exceed 1 via execution synthesis.
+
+The original overflow failure happens deep into a long batch; synthesis
+searching for the same crash accepts a single-request execution and,
+with minimisation enabled, keeps the cheapest one it finds.  When the
+synthesized run is short enough to amortise the inference effort,
+DE = original / (inference + replay) rises - and with a long enough
+original, beyond 1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rootcause import Diagnoser
+from repro.apps import overflow
+from repro.apps.base import find_failing_seed
+from repro.metrics import debugging_efficiency
+from repro.record import FailureRecorder, record_run
+from repro.replay import ExecutionSynthesizer
+from repro.replay.search import SearchBudget
+from repro.util.tables import Table
+
+
+def run_sec32_efficiency(long_batch_factor: int = 40) -> Table:
+    """Compare DE with and without synthesis minimisation.
+
+    ``long_batch_factor`` scales the original run: the killer request is
+    preceded by that many benign requests, making the original execution
+    long (as production failures are) while the synthesized
+    reproduction stays short.
+    """
+    case = overflow.make_case()
+    # Lengthen the original run: many benign requests before the crash.
+    benign = []
+    for i in range(long_batch_factor):
+        benign.extend([6, i, i + 1, i + 2, i + 3, i + 4, i + 5])
+    killer = [20] + list(range(100, 120))
+    case.inputs = {"req": [long_batch_factor + 1] + benign + killer}
+
+    seed = find_failing_seed(case, seeds=range(5))
+    log = record_run(case.program, FailureRecorder(), inputs=case.inputs,
+                     seed=seed, scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+
+    table = Table(["strategy", "original_cycles", "debug_cycles", "DE",
+                   "synthesized_len"],
+                  title="§3.2 - debugging efficiency via synthesis")
+    for minimize in (False, True):
+        replayer = ExecutionSynthesizer(
+            case.input_space, schedule_seeds=range(2),
+            budget=SearchBudget(max_attempts=120),
+            minimize=minimize, minimize_extra_attempts=24)
+        replay = replayer.replay(case.program, log, io_spec=case.io_spec)
+        efficiency = debugging_efficiency(log.native_cycles,
+                                          replay.total_debug_cycles)
+        table.add_row(
+            strategy="minimized" if minimize else "first-hit",
+            original_cycles=log.native_cycles,
+            debug_cycles=replay.total_debug_cycles,
+            DE=round(efficiency, 4),
+            synthesized_len=(replay.trace.total_steps
+                             if replay.trace else -1))
+    return table

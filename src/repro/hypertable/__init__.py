@@ -1,0 +1,39 @@
+"""HyperLite: a Hypertable-like distributed key-value store on DistSim.
+
+The substrate for the paper's §4 case study (Hypertable issue 63).  A
+master assigns row ranges to range servers; clients load rows into a
+table while the master concurrently migrates ranges between servers for
+load balancing.  The defect is faithful to the original bug report:
+
+    "rows [are] committed to slave nodes that are not responsible for
+    hosting them.  The slaves honor subsequent requests for table dumps,
+    but do not include the mistakenly committed rows ... The erroneous
+    commits stem from a race condition in which row ranges migrate to
+    other slave nodes at the same time that a recently received row
+    within the migrated range is being committed to the current slave."
+
+A range server in HyperLite accepts commits for ranges it no longer owns
+(when built with ``fixed=False``) and silently ignores those rows at dump
+time.  The observable failure: the load reports success, yet a subsequent
+dump returns fewer rows than were loaded.
+
+The same failure has two more reachable root causes, as §4 enumerates:
+a slave crash after upload (injected via a :class:`FaultPlan`) and a
+dump client running out of memory (a memory-limit fault) - which is why
+failure-deterministic replay scores DF = 1/3 here.
+"""
+
+from repro.hypertable.table import RangeMap, Range, make_rows
+from repro.hypertable.master import Master
+from repro.hypertable.rangeserver import RangeServer
+from repro.hypertable.client import LoaderClient, DumpClient
+from repro.hypertable.scenario import (HyperScenario, build_scenario,
+                                       hyperlite_spec, FAILURE_LOCATION)
+from repro.hypertable.diagnosis import HyperDiagnoser
+
+__all__ = [
+    "RangeMap", "Range", "make_rows",
+    "Master", "RangeServer", "LoaderClient", "DumpClient",
+    "HyperScenario", "build_scenario", "hyperlite_spec",
+    "FAILURE_LOCATION", "HyperDiagnoser",
+]

@@ -1,0 +1,62 @@
+"""The HyperLite master: range assignment and migration orchestration."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.distsim.node import Node
+from repro.hypertable.table import Range, RangeMap
+
+
+class Master(Node):
+    """Owns the authoritative range map and drives migrations.
+
+    A migration of range R from S1 to S2:
+
+    1. reassign R to S2 in the authoritative map;
+    2. send ``unload_range`` to S1 (S1 transfers R's rows to S2);
+    3. broadcast ``map_update`` to every client - these arrive after
+       independent network delays, so clients keep sending commits for R
+       to S1 for a while: the race window of issue 63.
+
+    All migration traffic is control-plane: small payloads, low rate.
+    """
+
+    def __init__(self, name: str, range_map: RangeMap,
+                 clients: List[str],
+                 migrations: List[Tuple[float, Range, str]]):
+        super().__init__(name)
+        self.range_map = range_map
+        self.clients = list(clients)
+        # (time, range, destination server) - the migration plan.
+        self.migrations = list(migrations)
+        self.acks_received = 0
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        for index, (when, rng, dst) in enumerate(self.migrations):
+            self.set_timer(when, "migrate", index)
+
+    # -- timers ------------------------------------------------------------
+
+    def timer_migrate(self, index: int) -> None:
+        __, rng, new_server = self.migrations[index]
+        old_server = self.range_map.owner_of(rng.lo)
+        if old_server == new_server:
+            return
+        self.range_map.reassign(rng, new_server)
+        self.annotate("migration", range=str(rng),
+                      src=old_server, dst=new_server, time=self.now)
+        self.send(old_server, "unload_range",
+                  {"lo": rng.lo, "hi": rng.hi, "dst": new_server})
+        encoded = self.range_map.encode()
+        for client in self.clients:
+            self.send(client, "map_update", {"map": encoded})
+
+    # -- message handlers ------------------------------------------------------
+
+    def handle_load_ack(self, src: str, body) -> None:
+        """A destination server finished installing a migrated range."""
+        self.acks_received += 1
+        self.annotate("migration-complete", range_lo=body.get("lo"),
+                      server=src)

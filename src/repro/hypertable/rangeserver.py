@@ -1,0 +1,82 @@
+"""The HyperLite range server (the paper's 'slave') - with the bug."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.distsim.node import Node
+from repro.hypertable.table import Range
+
+
+class RangeServer(Node):
+    """Stores committed rows for the ranges it owns.
+
+    The issue-63 defect lives in :meth:`handle_commit`: when built with
+    ``fixed=False`` (the shipped behaviour) the server accepts and acks a
+    commit even when it no longer owns the row's range - the row lands in
+    the local store, is never transferred to the new owner, and is
+    silently excluded from dumps.  With ``fixed=True`` the server checks
+    ownership first and NACKs so the client retries at the new owner:
+    that ownership check *is* the fix predicate defining the root cause.
+    """
+
+    def __init__(self, name: str, owned: Set[Range], fixed: bool = False):
+        super().__init__(name)
+        self.owned: Set[Range] = set(owned)
+        self.fixed = fixed
+        self.store: Dict[int, str] = {}
+        self.stale_commits = 0
+
+    # -- ownership ------------------------------------------------------------
+
+    def _owning_range(self, row: int) -> Optional[Range]:
+        for rng in self.owned:
+            if row in rng:
+                return rng
+        return None
+
+    # -- data plane --------------------------------------------------------------
+
+    def handle_commit(self, src: str, body) -> None:
+        row, value = body["row"], body["data"]
+        owns = self._owning_range(row) is not None
+        if not owns and self.fixed:
+            # The fix: validate ownership before committing.
+            self.send(src, "commit_nack", {"row": row})
+            return
+        if not owns:
+            # BUG (issue 63): the range migrated away while this commit
+            # was in flight; the row is committed locally anyway and the
+            # client is told everything succeeded.  Dumps will silently
+            # omit it.
+            self.stale_commits += 1
+            self.annotate("stale-commit", row=row, time=self.now)
+        self.store[row] = value
+        self.send(src, "commit_ack", {"row": row})
+
+    def handle_dump_req(self, src: str, body) -> None:
+        """Return the rows of every range this server currently owns."""
+        rows = {row: value for row, value in self.store.items()
+                if self._owning_range(row) is not None}
+        self.send(src, "dump_data", {"rows": rows, "server": self.name})
+
+    # -- control plane (migration) ---------------------------------------------
+
+    def handle_unload_range(self, src: str, body) -> None:
+        """Master moved one of our ranges away: stop owning it and ship
+        its rows to the new owner."""
+        rng = Range(body["lo"], body["hi"])
+        self.owned.discard(rng)
+        moving = {row: value for row, value in self.store.items()
+                  if row in rng}
+        for row in moving:
+            del self.store[row]
+        self.send(body["dst"], "range_data",
+                  {"lo": rng.lo, "hi": rng.hi, "rows": moving})
+
+    def handle_range_data(self, src: str, body) -> None:
+        """Install a migrated range and its rows; ack to the master."""
+        rng = Range(body["lo"], body["hi"])
+        self.owned.add(rng)
+        self.store.update(body["rows"])
+        self.send("master", "load_ack", {"lo": rng.lo})

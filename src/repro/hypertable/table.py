@@ -1,0 +1,88 @@
+"""Row ranges and the range map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Range:
+    """A half-open row-key interval ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+
+    def __contains__(self, row: int) -> bool:
+        return self.lo <= row < self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo},{self.hi})"
+
+
+class RangeMap:
+    """Assignment of row ranges to range servers.
+
+    Both the master (authoritative) and the clients (cached, possibly
+    stale) hold one; stale client caches during migration are half of the
+    race window.
+    """
+
+    def __init__(self, assignment: Optional[Dict[Range, str]] = None):
+        self._assignment: Dict[Range, str] = dict(assignment or {})
+
+    @staticmethod
+    def even_split(num_rows: int, servers: List[str]) -> "RangeMap":
+        """Split ``[0, num_rows)`` evenly across the given servers."""
+        if not servers:
+            raise SimulationError("need at least one server")
+        assignment = {}
+        per_server = max(1, num_rows // len(servers))
+        lo = 0
+        for index, server in enumerate(servers):
+            hi = num_rows if index == len(servers) - 1 else lo + per_server
+            assignment[Range(lo, hi)] = server
+            lo = hi
+        return RangeMap(assignment)
+
+    def owner_of(self, row: int) -> str:
+        for rng, server in self._assignment.items():
+            if row in rng:
+                return server
+        raise SimulationError(f"row {row} not covered by the range map")
+
+    def ranges_of(self, server: str) -> List[Range]:
+        return sorted((r for r, s in self._assignment.items()
+                       if s == server), key=lambda r: r.lo)
+
+    def reassign(self, rng: Range, new_server: str) -> None:
+        if rng not in self._assignment:
+            raise SimulationError(f"unknown range {rng}")
+        self._assignment[rng] = new_server
+
+    def entries(self) -> List[Tuple[Range, str]]:
+        return sorted(self._assignment.items(), key=lambda kv: kv[0].lo)
+
+    def encode(self) -> List[Tuple[int, int, str]]:
+        """Wire format for ``map_update`` messages (small: control plane)."""
+        return [(r.lo, r.hi, s) for r, s in self.entries()]
+
+    @staticmethod
+    def decode(encoded: List[Tuple[int, int, str]]) -> "RangeMap":
+        return RangeMap({Range(lo, hi): s for lo, hi, s in encoded})
+
+    def copy(self) -> "RangeMap":
+        return RangeMap(dict(self._assignment))
+
+
+def make_rows(num_rows: int, payload_words: int = 16) -> Dict[int, str]:
+    """Synthesize the table contents: row key -> cell payload.
+
+    The payload is sized in words so data-plane messages dominate traffic
+    (the property that makes value-determinism recording expensive and
+    control-plane selection cheap).
+    """
+    return {row: f"v{row:04d}" + "x" * (payload_words * 8 - 5)
+            for row in range(num_rows)}

@@ -1,0 +1,18 @@
+"""The paper's §3.2 metrics: fidelity, efficiency, utility.
+
+* **Debugging fidelity (DF)**: 0 when the replay does not reproduce the
+  failure; 1 when it reproduces the failure *and* the original root
+  cause; 1/n when it reproduces the failure via a different root cause,
+  with n the number of possible root causes of that failure.
+* **Debugging efficiency (DE)**: original execution duration divided by
+  the time to reproduce the failure, *including analysis/inference
+  time*; can exceed 1 when synthesis finds a shorter execution.
+* **Debugging utility (DU)**: DF x DE.
+"""
+
+from repro.metrics.core import (DebuggingMetrics, debugging_fidelity,
+                                debugging_efficiency, debugging_utility,
+                                evaluate_replay)
+
+__all__ = ["DebuggingMetrics", "debugging_fidelity",
+           "debugging_efficiency", "debugging_utility", "evaluate_replay"]

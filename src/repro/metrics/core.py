@@ -1,0 +1,106 @@
+"""Debugging fidelity / efficiency / utility computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.rootcause import Diagnoser, RootCause
+from repro.replay.base import ReplayResult
+from repro.vm.failures import FailureReport
+
+
+def debugging_fidelity(original_failure: Optional[FailureReport],
+                       original_cause: Optional[RootCause],
+                       replay_failure: Optional[FailureReport],
+                       replay_cause: Optional[RootCause],
+                       n_causes: int) -> float:
+    """DF per §3.2.
+
+    0 when the failure is not reproduced; 1 when failure and root cause
+    both match; 1/n when the failure is reproduced through a different
+    root cause (n = number of possible root causes of the failure).
+    """
+    if original_failure is None:
+        raise ValueError("fidelity is only defined for failed runs")
+    if replay_failure is None or not original_failure.same_failure(
+            replay_failure):
+        return 0.0
+    if original_cause is not None and original_cause.same_cause(replay_cause):
+        return 1.0
+    return 1.0 / max(n_causes, 1)
+
+
+def debugging_efficiency(original_cycles: int,
+                         debug_cycles: int) -> float:
+    """DE per §3.2: original duration over time-to-reproduce."""
+    if original_cycles <= 0:
+        raise ValueError("original execution must have positive duration")
+    return original_cycles / max(debug_cycles, 1)
+
+
+def debugging_utility(fidelity: float, efficiency: float) -> float:
+    """DU = DF x DE."""
+    return fidelity * efficiency
+
+
+@dataclass
+class DebuggingMetrics:
+    """The full scorecard for one (model, workload) evaluation."""
+
+    model: str
+    overhead: float                  # recording overhead (x), §3.2 x-axis
+    fidelity: float                  # DF
+    efficiency: float                # DE
+    utility: float                   # DU
+    failure_reproduced: bool
+    original_cause: Optional[RootCause] = None
+    replay_cause: Optional[RootCause] = None
+    n_causes: int = 1
+    attempts: int = 1
+    divergences: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flatten into a result-table row."""
+        return {
+            "model": self.model,
+            "overhead_x": round(self.overhead, 3),
+            "DF": round(self.fidelity, 3),
+            "DE": round(self.efficiency, 4),
+            "DU": round(self.utility, 4),
+            "failure_reproduced": self.failure_reproduced,
+            "replay_cause": str(self.replay_cause or "-"),
+        }
+
+
+def evaluate_replay(model: str,
+                    overhead: float,
+                    original_failure: Optional[FailureReport],
+                    original_cause: Optional[RootCause],
+                    original_cycles: int,
+                    replay: ReplayResult,
+                    n_causes: int,
+                    diagnoser: Optional[Diagnoser] = None
+                    ) -> DebuggingMetrics:
+    """Score one replay against the original run."""
+    diagnoser = diagnoser or Diagnoser()
+    replay_cause = diagnoser.diagnose(replay.trace, replay.failure)
+    fidelity = debugging_fidelity(
+        original_failure, original_cause, replay.failure, replay_cause,
+        n_causes)
+    efficiency = debugging_efficiency(
+        original_cycles, replay.total_debug_cycles)
+    return DebuggingMetrics(
+        model=model,
+        overhead=overhead,
+        fidelity=fidelity,
+        efficiency=efficiency,
+        utility=debugging_utility(fidelity, efficiency),
+        failure_reproduced=replay.reproduced_failure(original_failure),
+        original_cause=original_cause,
+        replay_cause=replay_cause,
+        n_causes=n_causes,
+        attempts=replay.attempts,
+        divergences=replay.divergences,
+    )

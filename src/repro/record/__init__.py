@@ -1,0 +1,41 @@
+"""Recording backends, one per determinism model.
+
+Each recorder subscribes to a machine's step stream and logs exactly the
+events its determinism model pays for, charging the per-event recording
+costs into the machine's overhead meter.  The paper's Figure 1 x-axis
+("runtime overhead") is the meter's overhead factor after the production
+run; its y-axis ("debugging utility") comes from replaying the resulting
+:class:`~repro.record.log.RecordingLog` with the matching replayer.
+
+===================  ==============================  =======================
+Model                Recorder                        Events logged
+===================  ==============================  =======================
+perfect              :class:`FullRecorder`           schedule, inputs,
+                                                     syscalls
+value (iDNA)         :class:`ValueRecorder`          per-thread read values,
+                                                     inputs, syscalls
+output (ODR)         :class:`OutputRecorder`         outputs only, or
+                                                     inputs+path+sync order
+failure (ESD)        :class:`FailureRecorder`        nothing (core dump at
+                                                     failure)
+debug (RCSE)         :class:`SelectiveRecorder`      control-plane events +
+                                                     trigger-dialed segments
+===================  ==============================  =======================
+"""
+
+from repro.record.log import RecordingLog
+from repro.record.base import Recorder, record_run
+from repro.record.full import FullRecorder
+from repro.record.value import ValueRecorder
+from repro.record.output import OutputRecorder, OutputMode
+from repro.record.failure import FailureRecorder
+from repro.record.selective import SelectiveRecorder, FidelityLevel
+from repro.record.serialize import (log_to_dict, log_from_dict, save_log,
+                                    load_log)
+
+__all__ = [
+    "RecordingLog", "Recorder", "record_run",
+    "FullRecorder", "ValueRecorder", "OutputRecorder", "OutputMode",
+    "FailureRecorder", "SelectiveRecorder", "FidelityLevel",
+    "log_to_dict", "log_from_dict", "save_log", "load_log",
+]

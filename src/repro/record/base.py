@@ -1,0 +1,82 @@
+"""Recorder interface and the ``record_run`` entry point."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.record.log import RecordingLog
+from repro.vm.environment import Environment
+from repro.vm.failures import IOSpec
+from repro.vm.machine import Machine
+from repro.vm.program import Program
+from repro.vm.scheduler import RandomScheduler, Scheduler
+from repro.vm.trace import StepRecord
+
+
+class Recorder:
+    """Base class for determinism-model recorders.
+
+    Subclasses set :attr:`model` and implement :meth:`observe`; they charge
+    every logged event into the machine's overhead meter via
+    :meth:`charge` so recording overhead is measured, not asserted.
+    """
+
+    model: str = "abstract"
+
+    def __init__(self):
+        self.log = RecordingLog(model=self.model)
+        self.machine: Optional[Machine] = None
+
+    def attach(self, machine: Machine) -> None:
+        """Subscribe to ``machine``'s step stream."""
+        self.machine = machine
+        machine.add_observer(self.observe)
+
+    def observe(self, machine: Machine, step: StepRecord) -> None:
+        """Handle one executed step (override)."""
+        raise NotImplementedError
+
+    def charge(self, event_class: str, count: int = 1) -> None:
+        """Charge recording cycles for ``count`` events of a class."""
+        costs = self.machine.cost_model.recording
+        per_event = getattr(costs, event_class)
+        self.machine.meter.charge_recording(event_class, per_event, count)
+
+    def finalize(self, machine: Machine) -> RecordingLog:
+        """Seal the log with run metadata after the machine stops."""
+        self.log.failure = machine.failure
+        self.log.native_cycles = machine.meter.native_cycles
+        self.log.recording_cycles = machine.meter.recording_cycles
+        self.log.total_steps = machine.steps
+        self.log.recorded_events = dict(machine.meter.recorded_events)
+        return self.log
+
+
+def record_run(program: Program,
+               recorder: Recorder,
+               inputs: Optional[Dict[str, List[Any]]] = None,
+               seed: int = 0,
+               scheduler: Optional[Scheduler] = None,
+               io_spec: Optional[IOSpec] = None,
+               net_drop_rate: float = 0.0,
+               max_steps: int = 2_000_000,
+               extra_observers: Sequence[Callable] = ()) -> RecordingLog:
+    """Execute one production run under ``recorder`` and return its log.
+
+    This is the 'in production' half of a replay-debugging system: the
+    program runs under a seeded preemptive scheduler (real, uncontrolled
+    non-determinism from the guest's point of view) while the recorder
+    logs whatever its determinism model pays for.
+    """
+    env = Environment(inputs=inputs, seed=seed, net_drop_rate=net_drop_rate)
+    machine = Machine(program, env=env,
+                      scheduler=scheduler or RandomScheduler(seed=seed),
+                      io_spec=io_spec, max_steps=max_steps)
+    recorder.attach(machine)
+    for observer in extra_observers:
+        machine.add_observer(observer)
+    machine.run()
+    log = recorder.finalize(machine)
+    log.metadata.setdefault("seed", seed)
+    log.metadata.setdefault("program_entry", program.entry)
+    return log

@@ -1,0 +1,78 @@
+"""Output-determinism recorder (ODR-class).
+
+Two recording schemes, mirroring the paper's description of ODR:
+
+``OUTPUT_ONLY``
+    Records just the outputs of the original run.  Everything else -
+    inputs, schedule, race outcomes - must be inferred at debug time.
+    Cheapest possible recording; inference may be intractable, and the
+    inferred execution may not even contain the original failure (the
+    paper's 2+2=5 example).
+
+``IO_PATH_SCHED``
+    ODR's practical scheme: also records program inputs, each thread's
+    execution path (branch outcomes), and the synchronization order -
+    but *not* the causal order of racing instructions; the values read
+    by races are inferred during replay.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.record.base import Recorder
+from repro.vm.machine import Machine
+from repro.vm.trace import StepRecord
+
+
+class OutputMode(enum.Enum):
+    OUTPUT_ONLY = "output-only"
+    IO_PATH_SCHED = "io-path-sched"
+
+
+class OutputRecorder(Recorder):
+    """Records outputs, optionally plus inputs/path/sync order."""
+
+    model = "output"
+
+    def __init__(self, mode: OutputMode = OutputMode.IO_PATH_SCHED):
+        super().__init__()
+        self.mode = mode
+        self.log.metadata["mode"] = mode.value
+
+    def observe(self, machine: Machine, step: StepRecord) -> None:
+        if step.io is not None:
+            self._observe_io(step)
+        if self.mode != OutputMode.IO_PATH_SCHED:
+            return
+        if step.branch_taken is not None:
+            self.log.thread_paths.setdefault(step.tid, []).append(
+                step.branch_taken)
+            self.charge("branch")
+        if step.sync is not None:
+            self.log.sync_order.append((step.tid, step.op, step.sync[1]))
+            self.charge("sync")
+            if step.op == "spawn":
+                child_tid = step.sync[1]
+                child_fn = (machine.threads[child_tid]
+                            .frames[0].function.name)
+                self.log.thread_spawns.setdefault(step.tid, []).append(
+                    (child_fn, child_tid))
+
+    def _observe_io(self, step: StepRecord) -> None:
+        kind, name, payload = step.io
+        if kind == "output":
+            self.log.outputs.setdefault(name, []).append(payload)
+            self.charge("output")
+        elif self.mode == OutputMode.IO_PATH_SCHED:
+            if kind == "input":
+                self.log.inputs.setdefault(name, []).append(payload)
+                self.log.thread_inputs.setdefault(step.tid, []).append(
+                    (name, payload))
+                self.charge("input")
+            elif kind == "syscall":
+                __, result = payload
+                self.log.syscalls.append((step.tid, name, result))
+                self.log.thread_syscalls.setdefault(step.tid, []).append(
+                    (name, result))
+                self.charge("syscall")

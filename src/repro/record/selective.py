@@ -1,0 +1,160 @@
+"""Root-Cause-driven Selectivity (RCSE): the debug-determinism recorder.
+
+The paper's §3.1 strategy: provide strong determinism guarantees for the
+portions of the execution likely to contain the root cause, relax the
+rest.  This recorder composes the three heuristics:
+
+* **code-based selection** (§3.1.1): steps executing inside control-plane
+  functions are always recorded at high fidelity (interleaving order +
+  inputs + syscall results).  The control-plane set comes from the
+  classifier in :mod:`repro.analysis.planes` or from a manual annotation.
+* **data-based selection** (§3.1.2): invariant monitors can be installed
+  as triggers; an invariant violation dials recording fidelity up.
+* **combined code/data triggers** (§3.1.3): any object implementing the
+  :class:`Trigger` protocol (e.g. the race detector in
+  :mod:`repro.analysis.triggers`) can fire and dial fidelity up from that
+  point on; after a quiet period fidelity dials back down (§3.1.3's
+  dial-down, measured in the trigger ablation bench).
+
+While fidelity is HIGH, *every* step is recorded (interleaving + I/O), so
+races that happen inside the window are pinned exactly.  While fidelity is
+LOW, only control-plane steps and the global synchronization order are
+recorded.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Protocol, Set, Tuple
+
+from repro.record.base import Recorder
+from repro.vm.machine import Machine
+from repro.vm.trace import StepRecord
+
+
+class Trigger(Protocol):
+    """A potential-bug detector that can request a fidelity dial-up."""
+
+    name: str
+
+    def observe(self, machine: Machine, step: StepRecord) -> bool:
+        """Inspect one step; return True to dial recording fidelity up."""
+        ...
+
+
+class FidelityLevel(enum.Enum):
+    LOW = "low"
+    HIGH = "high"
+
+
+class SelectiveRecorder(Recorder):
+    """Records control-plane behaviour precisely, data plane loosely."""
+
+    model = "rcse"
+
+    def __init__(self,
+                 control_plane: Iterable[str] = (),
+                 triggers: Optional[List[Trigger]] = None,
+                 dialdown_quiet_steps: Optional[int] = None,
+                 trigger_step_cost: int = 0):
+        super().__init__()
+        self.control_plane: Set[str] = set(control_plane)
+        self.triggers = list(triggers or [])
+        self.dialdown_quiet_steps = dialdown_quiet_steps
+        self.trigger_step_cost = trigger_step_cost
+        self.fidelity = FidelityLevel.LOW
+        self._quiet_steps = 0
+        self._dialup_start: Optional[int] = None
+        self._last_recorded_tid = None
+        self._dialup_sites: Set[Tuple[int, str]] = set()
+        self.log.control_plane = tuple(sorted(self.control_plane))
+
+    # -- fidelity control ----------------------------------------------------
+
+    def dial_up(self, step_index: int) -> None:
+        """Switch to HIGH fidelity from this step onward."""
+        if self.fidelity is FidelityLevel.HIGH:
+            return
+        self.fidelity = FidelityLevel.HIGH
+        self._dialup_start = step_index
+        self._quiet_steps = 0
+
+    def dial_down(self, step_index: int) -> None:
+        """Fall back to LOW fidelity (heuristic misfire or quiet period)."""
+        if self.fidelity is FidelityLevel.LOW:
+            return
+        self.fidelity = FidelityLevel.LOW
+        if self._dialup_start is not None:
+            self.log.dialup_windows.append((self._dialup_start, step_index))
+        self._dialup_start = None
+
+    # -- observation ------------------------------------------------------------
+
+    def observe(self, machine: Machine, step: StepRecord) -> None:
+        self._run_triggers(machine, step)
+        recorded = (step.function in self.control_plane
+                    or self.fidelity is FidelityLevel.HIGH)
+        if self.fidelity is FidelityLevel.HIGH:
+            self._dialup_sites.add((step.tid, step.site))
+        # Synchronization order is always recorded: sync events are rare
+        # (low data rate) and pin the lock-ordering skeleton of the run.
+        if step.sync is not None:
+            self.log.sync_order.append((step.tid, step.op, step.sync[1]))
+            self.charge("sync")
+            if step.op == "spawn":
+                child_tid = step.sync[1]
+                child_fn = (machine.threads[child_tid]
+                            .frames[0].function.name)
+                self.log.thread_spawns.setdefault(step.tid, []).append(
+                    (child_fn, child_tid))
+        if recorded:
+            self._record_step(step)
+
+    def finalize(self, machine: Machine):
+        if self.fidelity is FidelityLevel.HIGH:
+            self.dial_down(machine.steps)
+        log = super().finalize(machine)
+        log.metadata["dialup_sites"] = sorted(self._dialup_sites)
+        log.metadata["trigger_names"] = [t.name for t in self.triggers]
+        return log
+
+    # -- internals ------------------------------------------------------------
+
+    def _run_triggers(self, machine: Machine, step: StepRecord) -> None:
+        if not self.triggers:
+            return
+        if self.trigger_step_cost:
+            machine.meter.charge_recording(
+                "trigger", self.trigger_step_cost, 1)
+        fired = False
+        for trigger in self.triggers:
+            if trigger.observe(machine, step):
+                fired = True
+        if fired:
+            self.dial_up(step.index)
+        elif self.fidelity is FidelityLevel.HIGH:
+            self._quiet_steps += 1
+            if (self.dialdown_quiet_steps is not None
+                    and self._quiet_steps >= self.dialdown_quiet_steps):
+                self.dial_down(step.index)
+
+    def _record_step(self, step: StepRecord) -> None:
+        self.log.selective_order.append((step.tid, step.site))
+        if step.tid != self._last_recorded_tid:
+            self.charge("schedule")
+            self._last_recorded_tid = step.tid
+        if step.io is None:
+            return
+        kind, name, payload = step.io
+        if kind == "input":
+            self.log.selective_inputs.setdefault(name, []).append(payload)
+            self.charge("input")
+        elif kind == "syscall":
+            __, result = payload
+            self.log.selective_syscalls.append((step.tid, name, result))
+            self.charge("syscall")
+        elif kind == "output" and step.function in self.control_plane:
+            # Control-plane channel data (cheap, low rate) - §4 records
+            # "just the data on control-plane channels".
+            self.log.outputs.setdefault(name, []).append(payload)
+            self.charge("output")

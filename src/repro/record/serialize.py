@@ -1,0 +1,166 @@
+"""Recording-log (de)serialization.
+
+A replay-debugging system ships its logs from production machines to
+developer workstations; :func:`log_to_dict` / :func:`log_from_dict`
+round-trip a :class:`~repro.record.log.RecordingLog` through plain
+JSON-compatible structures so logs can be written to disk, attached to
+bug reports, and replayed elsewhere.
+
+Tuples (locations, sync events, selective-order entries) are encoded as
+lists and restored on load; failure reports and core dumps are encoded
+structurally.  The format is versioned so future log layouts can evolve.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.record.log import RecordingLog
+from repro.vm.failures import CoreDump, FailureKind, FailureReport
+
+FORMAT_VERSION = 1
+
+
+def _encode_failure(failure: Optional[FailureReport]) -> Optional[dict]:
+    if failure is None:
+        return None
+    return {
+        "kind": failure.kind.value,
+        "location": failure.location,
+        "detail": failure.detail,
+        "tid": failure.tid,
+        "step_index": failure.step_index,
+    }
+
+
+def _decode_failure(data: Optional[dict]) -> Optional[FailureReport]:
+    if data is None:
+        return None
+    return FailureReport(
+        kind=FailureKind(data["kind"]),
+        location=data["location"],
+        detail=data.get("detail", ""),
+        tid=data.get("tid"),
+        step_index=data.get("step_index"),
+    )
+
+
+def log_to_dict(log: RecordingLog) -> Dict[str, Any]:
+    """Encode a log as JSON-compatible primitives."""
+    core = None
+    if log.core_dump is not None:
+        core = {
+            "failure": _encode_failure(log.core_dump.failure),
+            "final_memory": log.core_dump.final_memory,
+            "outputs": log.core_dump.outputs,
+        }
+    return {
+        "format_version": FORMAT_VERSION,
+        "model": log.model,
+        "schedule": list(log.schedule),
+        "inputs": log.inputs,
+        "syscalls": [list(entry) for entry in log.syscalls],
+        "thread_reads": {str(tid): values
+                         for tid, values in log.thread_reads.items()},
+        "thread_inputs": {str(tid): [list(e) for e in entries]
+                          for tid, entries in log.thread_inputs.items()},
+        "thread_syscalls": {str(tid): [list(e) for e in entries]
+                            for tid, entries in log.thread_syscalls.items()},
+        "thread_spawns": {str(tid): [list(e) for e in entries]
+                          for tid, entries in log.thread_spawns.items()},
+        "outputs": log.outputs,
+        "thread_paths": {str(tid): list(path)
+                         for tid, path in log.thread_paths.items()},
+        "sync_order": [list(entry) for entry in log.sync_order],
+        "core_dump": core,
+        "selective_order": [list(entry) for entry in log.selective_order],
+        "selective_inputs": log.selective_inputs,
+        "selective_syscalls": [list(entry)
+                               for entry in log.selective_syscalls],
+        "dialup_windows": [list(entry) for entry in log.dialup_windows],
+        "control_plane": list(log.control_plane),
+        "failure": _encode_failure(log.failure),
+        "native_cycles": log.native_cycles,
+        "recording_cycles": log.recording_cycles,
+        "total_steps": log.total_steps,
+        "recorded_events": log.recorded_events,
+        "metadata": _encode_metadata(log.metadata),
+    }
+
+
+def _encode_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    encoded = dict(metadata)
+    if "dialup_sites" in encoded:
+        encoded["dialup_sites"] = [list(e)
+                                   for e in encoded["dialup_sites"]]
+    return encoded
+
+
+def log_from_dict(data: Dict[str, Any]) -> RecordingLog:
+    """Decode a log produced by :func:`log_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(f"unsupported log format version {version!r}")
+    log = RecordingLog(model=data["model"])
+    log.schedule = list(data.get("schedule", []))
+    log.inputs = dict(data.get("inputs", {}))
+    log.syscalls = [tuple(entry) for entry in data.get("syscalls", [])]
+    log.thread_reads = {int(tid): values for tid, values in
+                        data.get("thread_reads", {}).items()}
+    log.thread_inputs = {int(tid): [tuple(e) for e in entries]
+                         for tid, entries in
+                         data.get("thread_inputs", {}).items()}
+    log.thread_syscalls = {int(tid): [tuple(e) for e in entries]
+                           for tid, entries in
+                           data.get("thread_syscalls", {}).items()}
+    log.thread_spawns = {int(tid): [tuple(e) for e in entries]
+                         for tid, entries in
+                         data.get("thread_spawns", {}).items()}
+    log.outputs = dict(data.get("outputs", {}))
+    log.thread_paths = {int(tid): list(path) for tid, path in
+                        data.get("thread_paths", {}).items()}
+    log.sync_order = [tuple(entry) for entry in data.get("sync_order", [])]
+    core = data.get("core_dump")
+    if core is not None:
+        log.core_dump = CoreDump(
+            failure=_decode_failure(core["failure"]),
+            final_memory=core.get("final_memory", {}),
+            outputs=core.get("outputs", {}),
+        )
+    log.selective_order = [tuple(entry)
+                           for entry in data.get("selective_order", [])]
+    log.selective_inputs = dict(data.get("selective_inputs", {}))
+    log.selective_syscalls = [tuple(entry) for entry in
+                              data.get("selective_syscalls", [])]
+    log.dialup_windows = [tuple(entry)
+                          for entry in data.get("dialup_windows", [])]
+    log.control_plane = tuple(data.get("control_plane", []))
+    log.failure = _decode_failure(data.get("failure"))
+    log.native_cycles = data.get("native_cycles", 0)
+    log.recording_cycles = data.get("recording_cycles", 0)
+    log.total_steps = data.get("total_steps", 0)
+    log.recorded_events = dict(data.get("recorded_events", {}))
+    log.metadata = _decode_metadata(data.get("metadata", {}))
+    return log
+
+
+def _decode_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    decoded = dict(metadata)
+    if "dialup_sites" in decoded:
+        decoded["dialup_sites"] = [tuple(e)
+                                   for e in decoded["dialup_sites"]]
+    return decoded
+
+
+def save_log(log: RecordingLog, path: str) -> None:
+    """Write a log to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(log_to_dict(log), handle)
+
+
+def load_log(path: str) -> RecordingLog:
+    """Read a log from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return log_from_dict(json.load(handle))

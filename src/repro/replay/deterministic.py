@@ -1,0 +1,56 @@
+"""Deterministic replay from a full recording (perfect determinism).
+
+Rebuilds the environment from the recorded inputs, forces every syscall
+result from the log, and drives the scheduler with the exact recorded
+interleaving.  The replayed execution is bit-for-bit the original; any
+mismatch raises :class:`~repro.errors.ReplayDivergenceError`, which in a
+correct implementation indicates log corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReplayDivergenceError
+from repro.record.log import RecordingLog
+from repro.replay.base import Replayer, ReplayResult
+from repro.vm.environment import Environment
+from repro.vm.failures import IOSpec
+from repro.vm.machine import INTERCEPT_MISS, Machine
+from repro.vm.program import Program
+from repro.vm.scheduler import FixedScheduler
+
+
+class DeterministicReplayer(Replayer):
+    """Replays a :class:`~repro.record.full.FullRecorder` log exactly."""
+
+    model = "full"
+
+    def replay(self, program: Program, log: RecordingLog,
+               io_spec: Optional[IOSpec] = None) -> ReplayResult:
+        env = Environment(inputs=log.inputs, seed=0)
+        machine = Machine(program, env=env,
+                          scheduler=FixedScheduler(log.schedule, strict=True),
+                          io_spec=io_spec,
+                          max_steps=max(len(log.schedule) * 2, 1000))
+        syscall_feed = list(log.syscalls)
+        cursor = [0]
+
+        def force_syscalls(tid: int, kind: str, name: str, actual):
+            if kind != "syscall":
+                return INTERCEPT_MISS
+            if cursor[0] >= len(syscall_feed):
+                raise ReplayDivergenceError(
+                    f"replay made more syscalls than recorded "
+                    f"({len(syscall_feed)})")
+            rec_tid, rec_name, rec_result = syscall_feed[cursor[0]]
+            if (rec_tid, rec_name) != (tid, name):
+                raise ReplayDivergenceError(
+                    f"syscall #{cursor[0]}: replay ran t{tid}:{name}, "
+                    f"log has t{rec_tid}:{rec_name}")
+            cursor[0] += 1
+            return rec_result
+
+        machine.io_interceptor = force_syscalls
+        machine.run()
+        return self._result_from_machine(self.model, machine)

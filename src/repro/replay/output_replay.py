@@ -1,0 +1,162 @@
+"""Output-deterministic replay (ODR-class), both recording schemes.
+
+:class:`OutputOnlyReplayer` reconstructs an execution from outputs alone
+by searching the input/schedule space for *any* run with identical
+outputs.  As §2 of the paper warns, the first such run may be a correct
+execution that never fails (output 5 from inputs 1+4), in which case the
+replay is useless for debugging - debugging fidelity 0.
+
+:class:`OdrReplayer` replays the practical scheme (inputs + per-thread
+paths + sync order recorded): it re-runs under the recorded sync order
+and searches only over the residual race interleavings until the
+replayed run matches the recorded outputs and branch paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ReplayDivergenceError
+from repro.record.log import RecordingLog
+from repro.replay.base import (PerThreadFeed, Replayer, ReplayResult,
+                               TidMapper)
+from repro.replay.search import (ExecutionSearch, InputSpace, SearchBudget,
+                                 SearchOutcome)
+from repro.vm.environment import Environment
+from repro.vm.failures import IOSpec
+from repro.vm.machine import INTERCEPT_MISS, Machine
+from repro.vm.program import Program
+from repro.vm.scheduler import RandomScheduler, SyncOrderScheduler
+
+
+def outputs_match(machine: Machine, recorded_outputs) -> bool:
+    """Exact equality on every output channel."""
+    return machine.env.outputs == recorded_outputs
+
+
+class OutputOnlyReplayer(Replayer):
+    """Infers an execution whose outputs equal the recorded outputs."""
+
+    model = "output"
+
+    def __init__(self, input_space: InputSpace,
+                 schedule_seeds: Iterable[int] = range(8),
+                 budget: Optional[SearchBudget] = None,
+                 net_drop_rate: float = 0.0):
+        self.input_space = input_space
+        self.schedule_seeds = list(schedule_seeds)
+        self.budget = budget or SearchBudget()
+        self.net_drop_rate = net_drop_rate
+
+    def replay(self, program: Program, log: RecordingLog,
+               io_spec: Optional[IOSpec] = None) -> ReplayResult:
+        search = ExecutionSearch(
+            program, self.input_space,
+            schedule_seeds=self.schedule_seeds,
+            io_spec=io_spec, net_drop_rate=self.net_drop_rate)
+        outcome = search.search(
+            lambda m: outputs_match(m, log.outputs), budget=self.budget)
+        return _result_from_outcome(self.model, outcome)
+
+
+class OdrReplayer(Replayer):
+    """Replays inputs+path+sync-order logs, inferring race outcomes.
+
+    The recorded synchronization order constrains lock acquisitions; the
+    interleaving of *racing* (unsynchronized) accesses is searched until
+    the run reproduces the recorded outputs and per-thread branch paths.
+    A run that matches is output- and path-equivalent to the original,
+    which is everything this model guarantees.
+    """
+
+    model = "output"
+
+    def __init__(self, inner_seeds: Iterable[int] = range(64),
+                 budget: Optional[SearchBudget] = None):
+        self.inner_seeds = list(inner_seeds)
+        self.budget = budget or SearchBudget()
+
+    def replay(self, program: Program, log: RecordingLog,
+               io_spec: Optional[IOSpec] = None) -> ReplayResult:
+        attempts = 0
+        inference_cycles = 0
+        best: Optional[Machine] = None
+        for seed in self.inner_seeds:
+            if not self.budget.allows(attempts, inference_cycles):
+                break
+            machine = self._run_once(program, log, io_spec, seed)
+            attempts += 1
+            inference_cycles += machine.meter.native_cycles
+            if (outputs_match(machine, log.outputs)
+                    and self._paths_match(machine, log)):
+                best = machine
+                break
+        if best is None:
+            return ReplayResult(model=self.model, trace=None, failure=None,
+                                inference_cycles=inference_cycles,
+                                attempts=attempts, found=False)
+        inference_cycles -= best.meter.native_cycles
+        return self._result_from_machine(
+            self.model, best, attempts=attempts,
+            inference_cycles=inference_cycles)
+
+    def _run_once(self, program: Program, log: RecordingLog,
+                  io_spec: Optional[IOSpec], seed: int) -> Machine:
+        env = Environment(inputs=log.inputs, seed=0)
+        scheduler = SyncOrderScheduler(
+            log.sync_order, inner=RandomScheduler(seed=seed,
+                                                  switch_prob=0.3))
+        machine = Machine(program, env=env, scheduler=scheduler,
+                          io_spec=io_spec,
+                          max_steps=max(log.total_steps * 4, 1000))
+        mapper = TidMapper(log.thread_spawns)
+        machine.add_observer(mapper.observe)
+        inputs = PerThreadFeed(log.thread_inputs)
+        syscalls = PerThreadFeed(log.thread_syscalls)
+
+        def force_io(tid: int, kind: str, name: str, actual):
+            feed = {"input": inputs, "syscall": syscalls}.get(kind)
+            if feed is None:
+                return INTERCEPT_MISS
+            entry = feed.next_value(mapper.to_original(tid))
+            if entry is None or entry[0] != name:
+                return INTERCEPT_MISS
+            return entry[1]
+
+        machine.io_interceptor = force_io
+        try:
+            machine.run()
+        except ReplayDivergenceError:
+            # This race interleaving is inconsistent with the recorded
+            # sync order; the attempt is rejected (outputs won't match).
+            pass
+        return machine
+
+    @staticmethod
+    def _paths_match(machine: Machine, log: RecordingLog) -> bool:
+        replayed: dict = {}
+        for step in machine.trace.steps:
+            if step.branch_taken is not None:
+                replayed.setdefault(step.tid, []).append(step.branch_taken)
+        # Compare as multisets of per-thread paths: tids may be renumbered
+        # between runs, but each recorded thread's path must be realized.
+        recorded = sorted(map(tuple, log.thread_paths.values()))
+        actual = sorted(map(tuple, replayed.values()))
+        return recorded == actual
+
+
+def _result_from_outcome(model: str, outcome: SearchOutcome) -> ReplayResult:
+    if not outcome.found or outcome.machine is None:
+        return ReplayResult(model=model, trace=None, failure=None,
+                            inference_cycles=outcome.inference_cycles,
+                            attempts=outcome.attempts, found=False)
+    machine = outcome.machine
+    return ReplayResult(
+        model=model,
+        trace=machine.trace,
+        failure=machine.failure,
+        replay_cycles=machine.meter.native_cycles,
+        inference_cycles=outcome.inference_cycles - machine.meter.native_cycles,
+        attempts=outcome.attempts,
+        found=True,
+    )

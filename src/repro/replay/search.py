@@ -1,0 +1,191 @@
+"""Budgeted execution search: the inference engine behind relaxed replay.
+
+Ultra-relaxed determinism models record little and *infer* the rest after
+the failure.  In this substrate, inference is an explicit search over the
+unrecorded non-determinism: candidate input assignments (an
+:class:`InputSpace`) crossed with candidate schedules (seeds for the
+production scheduler), executed under the same program and accepted by a
+model-specific predicate (e.g. "outputs match the log" for output
+determinism, "failure signature matches the core dump" for failure
+determinism).
+
+Every explored execution's cycles are charged to the inference budget -
+this is the paper's "prohibitively large post-factum analysis times"
+failure mode made measurable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+from repro.util.intervals import Interval
+from repro.vm.environment import Environment
+from repro.vm.failures import IOSpec
+from repro.vm.machine import Machine
+from repro.vm.program import Program
+from repro.vm.scheduler import RandomScheduler, Scheduler
+
+
+@dataclass
+class SearchBudget:
+    """Bounds on the inference search."""
+
+    max_attempts: int = 2000
+    max_cycles: int = 50_000_000
+
+    def allows(self, attempts: int, cycles: int) -> bool:
+        return attempts < self.max_attempts and cycles < self.max_cycles
+
+
+class InputSpace:
+    """Enumerable candidate input assignments for inference.
+
+    An input space captures what a debugging engineer legitimately knows
+    about the program's input format (channels, how many values, domains)
+    without knowing the concrete values of the failed run.
+    """
+
+    def __init__(self, generator: Callable[[], Iterator[Dict[str, List[Any]]]],
+                 description: str = ""):
+        self._generator = generator
+        self.description = description
+
+    def candidates(self) -> Iterator[Dict[str, List[Any]]]:
+        return self._generator()
+
+    @staticmethod
+    def fixed(inputs: Dict[str, List[Any]]) -> "InputSpace":
+        """A single known assignment (inputs were recorded)."""
+        def gen():
+            yield {k: list(v) for k, v in inputs.items()}
+        return InputSpace(gen, "fixed")
+
+    @staticmethod
+    def grid(shape: Dict[str, Tuple[int, Interval]]) -> "InputSpace":
+        """Exhaustive grid: ``channel -> (count, domain interval)``.
+
+        Enumerates every combination of values for every channel slot in
+        lexicographic order.  Exponential, as real input inference is;
+        meant for small domains (and for demonstrating the blow-up).
+        """
+        channels = sorted(shape.items())
+
+        def gen():
+            slots = []
+            for channel, (count, domain) in channels:
+                slots.extend((channel, list(domain)) for _ in range(count))
+            domains = [values for _, values in slots]
+            for combo in itertools.product(*domains):
+                candidate: Dict[str, List[Any]] = {}
+                for (channel, _), value in zip(slots, combo):
+                    candidate.setdefault(channel, []).append(value)
+                yield candidate
+        total = 1
+        for __, (count, domain) in channels:
+            total *= max(len(domain), 1) ** count
+        return InputSpace(gen, f"grid({total} candidates)")
+
+    @staticmethod
+    def choices(options: Sequence[Dict[str, List[Any]]]) -> "InputSpace":
+        """An explicit list of candidate assignments."""
+        def gen():
+            for option in options:
+                yield {k: list(v) for k, v in option.items()}
+        return InputSpace(gen, f"choices({len(options)})")
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one inference search."""
+
+    machine: Optional[Machine]
+    attempts: int = 0
+    inference_cycles: int = 0
+    found: bool = False
+    # Every distinct accepted machine when collect_all is used.
+    all_accepted: List[Machine] = field(default_factory=list)
+
+
+class ExecutionSearch:
+    """Searches (inputs x schedules) for an execution accepted by a predicate."""
+
+    def __init__(self,
+                 program: Program,
+                 input_space: InputSpace,
+                 schedule_seeds: Iterable[int] = range(16),
+                 io_spec: Optional[IOSpec] = None,
+                 net_drop_rate: float = 0.0,
+                 env_seed_base: int = 10_000,
+                 switch_prob: float = 0.25,
+                 max_steps: int = 500_000,
+                 scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
+                 env_factory: Optional[Callable[[Dict[str, List[Any]], int],
+                                                Environment]] = None):
+        self.program = program
+        self.input_space = input_space
+        self.schedule_seeds = list(schedule_seeds)
+        self.io_spec = io_spec
+        self.net_drop_rate = net_drop_rate
+        self.env_seed_base = env_seed_base
+        self.switch_prob = switch_prob
+        self.max_steps = max_steps
+        self._scheduler_factory = scheduler_factory or (
+            lambda seed: RandomScheduler(seed=seed,
+                                         switch_prob=self.switch_prob))
+        self._env_factory = env_factory or self._default_env
+
+    def _default_env(self, inputs: Dict[str, List[Any]],
+                     seed: int) -> Environment:
+        return Environment(inputs=inputs, seed=seed,
+                           net_drop_rate=self.net_drop_rate)
+
+    def run_candidate(self, inputs: Dict[str, List[Any]],
+                      seed: int) -> Machine:
+        """Execute one candidate (used directly by some replayers)."""
+        env = self._env_factory(inputs, self.env_seed_base + seed)
+        machine = Machine(self.program, env=env,
+                          scheduler=self._scheduler_factory(seed),
+                          io_spec=self.io_spec, max_steps=self.max_steps)
+        machine.run()
+        return machine
+
+    def search(self,
+               accept: Callable[[Machine], bool],
+               budget: Optional[SearchBudget] = None,
+               collect_all: bool = False,
+               dedupe_key: Optional[Callable[[Machine], Any]] = None
+               ) -> SearchOutcome:
+        """Explore candidates until one is accepted or the budget dies.
+
+        With ``collect_all`` the search keeps going after acceptance and
+        gathers every accepted execution (deduplicated by ``dedupe_key``)
+        until the budget is exhausted - used for root-cause enumeration.
+        """
+        budget = budget or SearchBudget()
+        outcome = SearchOutcome(machine=None)
+        seen_keys = set()
+        for inputs in self.input_space.candidates():
+            for seed in self.schedule_seeds:
+                if not budget.allows(outcome.attempts,
+                                     outcome.inference_cycles):
+                    return outcome
+                machine = self.run_candidate(inputs, seed)
+                outcome.attempts += 1
+                outcome.inference_cycles += machine.meter.native_cycles
+                if not accept(machine):
+                    continue
+                if not collect_all:
+                    outcome.machine = machine
+                    outcome.found = True
+                    return outcome
+                key = dedupe_key(machine) if dedupe_key else id(machine)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    outcome.all_accepted.append(machine)
+                    if outcome.machine is None:
+                        outcome.machine = machine
+                        outcome.found = True
+        return outcome

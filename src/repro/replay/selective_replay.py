@@ -1,0 +1,253 @@
+"""RCSE replay: precise where it was recorded, relaxed elsewhere.
+
+Replays a :class:`~repro.record.selective.SelectiveRecorder` log by
+enforcing exactly the constraints the recorder paid for:
+
+* the global synchronization order (always recorded);
+* the relative order of *recorded-class* steps - steps in control-plane
+  functions plus steps inside trigger-dialed windows;
+* recorded input values and syscall results for recorded-class steps.
+
+Everything else - data-plane scheduling, data-plane syscall results - is
+re-simulated with a fresh seed.  If the root cause lives in the recorded
+region, the replay reproduces it; if the heuristics missed it, the replay
+may diverge (counted, not hidden).  That asymmetry *is* the RCSE gamble
+the paper describes.
+
+Since the developer has the bug report, the replayer retries data-plane
+seeds until the reported failure re-manifests (retries are charged as
+inference cycles), mirroring how a debugging session actually uses a
+best-effort replayer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.record.log import RecordingLog
+from repro.replay.base import Replayer, ReplayResult, TidMapper
+from repro.vm.environment import Environment
+from repro.vm.failures import FailureReport, IOSpec
+from repro.vm.instructions import is_sync
+from repro.vm.machine import INTERCEPT_MISS, Machine
+from repro.vm.program import Program
+from repro.vm.scheduler import RandomScheduler, Scheduler, SchedulerError
+
+
+class GuidedOrderScheduler(Scheduler):
+    """Enforces recorded sync order + recorded-class step order.
+
+    Tolerates divergence: when no runnable thread can legally proceed the
+    blocking queue head is skipped and counted, so a replay of an
+    imperfect (relaxed) recording always makes progress.
+    """
+
+    def __init__(self,
+                 sync_order: List[Tuple[int, str, Any]],
+                 selective_order: List[Tuple[int, str]],
+                 control_plane: Set[str],
+                 dialup_sites: Set[str],
+                 mapper: TidMapper,
+                 inner: Optional[Scheduler] = None,
+                 max_divergences: int = 200):
+        self.sync_order = list(sync_order)
+        self.selective_order = list(selective_order)
+        self.control_plane = control_plane
+        self.dialup_sites = dialup_sites
+        self.mapper = mapper
+        self.inner = inner or RandomScheduler(seed=1)
+        self.sync_index = 0
+        self.sel_index = 0
+        self.divergences = 0
+        # Pervasive divergence means the recorded constraints no longer
+        # describe this execution (e.g. re-randomized data-plane work
+        # changed loop trip counts); past the threshold the replayer
+        # abandons the remaining constraints instead of thrashing.
+        self.max_divergences = max_divergences
+        self.abandoned = False
+
+    # -- classification -----------------------------------------------------
+
+    def _next_site(self, machine: Machine, tid: int) -> Optional[Tuple[str, str]]:
+        thread = machine.threads[tid]
+        if not thread.frames:
+            return None
+        frame = thread.frame
+        if frame.pc >= len(frame.function.body):
+            return None
+        return frame.function.name, f"{frame.function.name}@{frame.pc}"
+
+    def _is_recorded_class(self, function: str, site: str) -> bool:
+        return function in self.control_plane or site in self.dialup_sites
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _allowed(self, machine: Machine) -> List[int]:
+        allowed = []
+        for tid in machine.runnable_tids():
+            located = self._next_site(machine, tid)
+            if located is None:
+                allowed.append(tid)
+                continue
+            function, site = located
+            instr = machine.peek_instr(tid)
+            if instr is not None and is_sync(instr):
+                if not self._sync_head_matches(tid, instr.op):
+                    continue
+            if self._is_recorded_class(function, site):
+                if not self._sel_head_matches(tid, site):
+                    continue
+            allowed.append(tid)
+        return allowed
+
+    def _sync_head_matches(self, tid: int, op: str) -> bool:
+        if self.sync_index >= len(self.sync_order):
+            return True
+        expected_tid, expected_op, __ = self.sync_order[self.sync_index]
+        mapped = self.mapper.to_original(tid)
+        return mapped == expected_tid and op == expected_op
+
+    def _sel_head_matches(self, tid: int, site: str) -> bool:
+        if self.sel_index >= len(self.selective_order):
+            return True
+        expected_tid, expected_site = self.selective_order[self.sel_index]
+        mapped = self.mapper.to_original(tid)
+        return mapped == expected_tid and site == expected_site
+
+    def pick(self, machine: Machine) -> int:
+        runnable = machine.runnable_tids()
+        if not runnable:
+            raise SchedulerError("no runnable threads")
+        # Skip queue heads until some thread can proceed (divergence
+        # tolerance for relaxed recordings).
+        while True:
+            allowed = self._allowed(machine)
+            if allowed:
+                return _inner_pick(self.inner, machine, allowed)
+            self.divergences += 1
+            if self.divergences > self.max_divergences:
+                self._abandon()
+                return _inner_pick(self.inner, machine, runnable)
+            if self.sel_index < len(self.selective_order):
+                self.sel_index += 1
+            elif self.sync_index < len(self.sync_order):
+                self.sync_index += 1
+            else:
+                return _inner_pick(self.inner, machine, runnable)
+
+    def _abandon(self) -> None:
+        if not self.abandoned:
+            self.abandoned = True
+            self.sel_index = len(self.selective_order)
+            self.sync_index = len(self.sync_order)
+
+    def notify(self, step) -> None:
+        self.inner.notify(step)
+        mapped = self.mapper.to_original(step.tid)
+        if (step.sync is not None
+                and self.sync_index < len(self.sync_order)):
+            expected_tid, expected_op, __ = self.sync_order[self.sync_index]
+            if mapped == expected_tid and step.op == expected_op:
+                self.sync_index += 1
+        if self.sel_index < len(self.selective_order):
+            function = step.function
+            if self._is_recorded_class(function, step.site):
+                expected_tid, expected_site = (
+                    self.selective_order[self.sel_index])
+                if mapped == expected_tid and step.site == expected_site:
+                    self.sel_index += 1
+
+
+class SelectiveReplayer(Replayer):
+    """Replays an RCSE log; retries data-plane seeds to hit the failure."""
+
+    model = "rcse"
+
+    def __init__(self,
+                 base_inputs: Optional[Dict[str, List[Any]]] = None,
+                 replay_seeds: Iterable[int] = range(12),
+                 net_drop_rate: float = 0.0,
+                 target_failure: Optional[FailureReport] = None):
+        self.base_inputs = base_inputs or {}
+        self.replay_seeds = list(replay_seeds)
+        self.net_drop_rate = net_drop_rate
+        self.target_failure = target_failure
+
+    def replay(self, program: Program, log: RecordingLog,
+               io_spec: Optional[IOSpec] = None) -> ReplayResult:
+        target = self.target_failure or log.failure
+        attempts = 0
+        inference_cycles = 0
+        last: Optional[Tuple[Machine, int]] = None
+        for seed in self.replay_seeds:
+            machine, divergences = self._run_once(program, log, io_spec, seed)
+            attempts += 1
+            inference_cycles += machine.meter.native_cycles
+            last = (machine, divergences)
+            if target is None or (machine.failure is not None
+                                  and target.same_failure(machine.failure)):
+                break
+        machine, divergences = last
+        return self._result_from_machine(
+            self.model, machine, attempts=attempts,
+            inference_cycles=inference_cycles - machine.meter.native_cycles,
+            divergences=divergences)
+
+    def _run_once(self, program: Program, log: RecordingLog,
+                  io_spec: Optional[IOSpec],
+                  seed: int) -> Tuple[Machine, int]:
+        # The replay environment re-supplies the workload's inputs; the
+        # partially recorded inputs (control-plane consumption and
+        # dial-up windows) only fill channels the workload cannot
+        # regenerate - overriding a re-suppliable channel with a partial
+        # log would starve the replayed run.
+        inputs = {k: list(v) for k, v in self.base_inputs.items()}
+        for channel, values in log.selective_inputs.items():
+            if channel not in inputs:
+                inputs[channel] = list(values)
+        env = Environment(inputs=inputs, seed=90_000 + seed,
+                          net_drop_rate=self.net_drop_rate)
+        mapper = TidMapper(log.thread_spawns)
+        control_plane = set(log.control_plane)
+        dialup_sites = {site for __, site in
+                        log.metadata.get("dialup_sites", [])}
+        scheduler = GuidedOrderScheduler(
+            log.sync_order, log.selective_order, control_plane,
+            dialup_sites, mapper,
+            inner=RandomScheduler(seed=seed, switch_prob=0.3))
+        machine = Machine(program, env=env, scheduler=scheduler,
+                          io_spec=io_spec,
+                          max_steps=max(log.total_steps * 8, 20_000))
+        machine.add_observer(mapper.observe)
+
+        syscall_feed: Dict[int, List[Tuple[str, Any]]] = {}
+        for tid, name, result in log.selective_syscalls:
+            syscall_feed.setdefault(tid, []).append((name, result))
+        cursors: Dict[int, int] = {}
+
+        def force_control_syscalls(tid: int, kind: str, name: str, actual):
+            if kind != "syscall":
+                return INTERCEPT_MISS
+            located = scheduler._next_site(machine, tid)
+            if located is None:
+                return INTERCEPT_MISS
+            function, site = located
+            if not scheduler._is_recorded_class(function, site):
+                return INTERCEPT_MISS
+            mapped = mapper.to_original(tid)
+            queue = syscall_feed.get(mapped, [])
+            cursor = cursors.get(mapped, 0)
+            if cursor >= len(queue) or queue[cursor][0] != name:
+                return INTERCEPT_MISS
+            cursors[mapped] = cursor + 1
+            return queue[cursor][1]
+
+        machine.io_interceptor = force_control_syscalls
+        machine.run()
+        return machine, scheduler.divergences
+
+
+def _inner_pick(inner: Scheduler, machine: Machine,
+                allowed: List[int]) -> int:
+    from repro.vm.scheduler import _pick_from
+    return _pick_from(inner, machine, allowed)

@@ -1,0 +1,8 @@
+"""Shared utilities: vector clocks, integer intervals, seeded RNG, tables."""
+
+from repro.util.vclock import VectorClock
+from repro.util.intervals import Interval
+from repro.util.rng import DeterministicRng
+from repro.util.tables import Table
+
+__all__ = ["VectorClock", "Interval", "DeterministicRng", "Table"]

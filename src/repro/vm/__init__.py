@@ -1,0 +1,50 @@
+"""MiniVM: an instruction-level concurrent virtual machine.
+
+MiniVM is the execution substrate for the paper's single-machine
+experiments.  It models exactly the non-determinism classes that
+replay-debugging systems care about:
+
+* **scheduling** - a pluggable scheduler picks which thread executes each
+  instruction, so thread interleaving is an explicit, controllable event
+  stream;
+* **inputs** - ``input`` instructions consume values from named channels
+  supplied by the :class:`~repro.vm.environment.Environment`;
+* **syscalls** - ``syscall`` instructions (random numbers, simulated
+  network sends, clock reads) return environment-controlled values.
+
+Given a fixed environment and a fixed schedule, execution is bit-exact
+deterministic - the foundation on which every recorder and replayer in
+:mod:`repro.record` and :mod:`repro.replay` is built.  Executions carry a
+simulated cycle cost (:mod:`repro.vm.cost`) so recording overheads are
+measured in the same units the paper plots.
+
+Guest programs can be built three ways: programmatically via
+:class:`~repro.vm.program.ProgramBuilder`, from assembly text via
+:func:`~repro.vm.assembler.assemble`, or from MiniLang source via
+:func:`~repro.vm.compiler.compile_source`.
+"""
+
+from repro.vm.instructions import Const, Reg, Instr, OPCODES
+from repro.vm.program import Function, Program, ProgramBuilder
+from repro.vm.environment import Environment
+from repro.vm.machine import Machine, run_program
+from repro.vm.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SyncOrderScheduler,
+)
+from repro.vm.failures import FailureKind, FailureReport, IOSpec
+from repro.vm.trace import StepRecord, Trace
+from repro.vm.cost import CostModel
+from repro.vm.assembler import assemble
+
+__all__ = [
+    "Const", "Reg", "Instr", "OPCODES",
+    "Function", "Program", "ProgramBuilder",
+    "Environment", "Machine", "run_program",
+    "FixedScheduler", "RandomScheduler", "RoundRobinScheduler",
+    "SyncOrderScheduler",
+    "FailureKind", "FailureReport", "IOSpec",
+    "StepRecord", "Trace", "CostModel", "assemble",
+]

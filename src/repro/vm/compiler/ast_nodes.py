@@ -1,0 +1,198 @@
+"""MiniLang abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class carrying the source line for error messages."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclass
+class StrLit(Node):
+    value: str
+
+
+@dataclass
+class Name(Node):
+    """A bare identifier - local variable or global, resolved at codegen."""
+
+    ident: str
+
+
+@dataclass
+class Index(Node):
+    """``array[index]`` read."""
+
+    array: str
+    index: "Expr"
+
+
+@dataclass
+class Unary(Node):
+    op: str            # "!" or "-"
+    operand: "Expr"
+
+
+@dataclass
+class Binary(Node):
+    op: str            # + - * / % == != < <= > >= && ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Call(Node):
+    """Function call expression ``f(a, b)``."""
+
+    function: str
+    args: List["Expr"]
+
+
+@dataclass
+class Spawn(Node):
+    """``spawn f(a, b)`` - evaluates to the new thread id."""
+
+    function: str
+    args: List["Expr"]
+
+
+@dataclass
+class Input(Node):
+    """``input("channel")`` - consumes one input value."""
+
+    channel: str
+
+
+@dataclass
+class Syscall(Node):
+    """``syscall("name", args...)``."""
+
+    name: str
+    args: List["Expr"]
+
+
+Expr = (IntLit, StrLit, Name, Index, Unary, Binary, Call, Spawn, Input,
+        Syscall)
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    value: "Expr"
+
+
+@dataclass
+class Assign(Node):
+    """Assignment to a local or global scalar (resolved at codegen)."""
+
+    name: str
+    value: "Expr"
+
+
+@dataclass
+class StoreIndex(Node):
+    """``array[index] = value``."""
+
+    array: str
+    index: "Expr"
+    value: "Expr"
+
+
+@dataclass
+class If(Node):
+    condition: "Expr"
+    then_body: List["Stmt"]
+    else_body: List["Stmt"]
+
+
+@dataclass
+class While(Node):
+    condition: "Expr"
+    body: List["Stmt"]
+
+
+@dataclass
+class LockStmt(Node):
+    mutex: str
+    acquire: bool      # True = lock, False = unlock
+
+
+@dataclass
+class JoinStmt(Node):
+    thread: "Expr"
+
+
+@dataclass
+class OutputStmt(Node):
+    channel: str
+    value: "Expr"
+
+
+@dataclass
+class AssertStmt(Node):
+    condition: "Expr"
+    message: str
+
+
+@dataclass
+class FailStmt(Node):
+    message: str
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Optional["Expr"]
+
+
+@dataclass
+class HaltStmt(Node):
+    pass
+
+
+@dataclass
+class YieldStmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Node):
+    """An expression evaluated for its side effects (e.g. a bare call)."""
+
+    expr: "Expr"
+
+
+Stmt = (VarDecl, Assign, StoreIndex, If, While, LockStmt, JoinStmt,
+        OutputStmt, AssertStmt, FailStmt, ReturnStmt, HaltStmt, YieldStmt,
+        ExprStmt)
+
+
+# -- top level ----------------------------------------------------------------
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    params: List[str]
+    body: List["Stmt"]
+
+
+@dataclass
+class Module(Node):
+    globals_: List[Tuple[str, int]] = field(default_factory=list)
+    arrays: List[Tuple[str, int]] = field(default_factory=list)
+    mutexes: List[str] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,147 @@
+"""MiniLang lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "global", "array", "mutex", "fn", "var", "if", "else", "while",
+    "lock", "unlock", "spawn", "join", "input", "output", "syscall",
+    "assert", "fail", "return", "halt", "yield",
+}
+
+# Multi-character operators must be matched before their prefixes.
+OPERATORS = ["==", "!=", "<=", ">=", "&&", "||",
+             "+", "-", "*", "/", "%", "<", ">", "!", "=",
+             "(", ")", "{", "}", "[", "]", ",", ";"]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: Union[str, int]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}:{self.value!r}@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Converts MiniLang source into a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: List[Token] = []
+
+    def tokenize(self) -> List[Token]:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r":
+                self._advance(1)
+            elif ch == "\n":
+                self._advance(1, newline=True)
+            elif self.source.startswith("//", self.pos):
+                self._skip_line_comment()
+            elif self.source.startswith("/*", self.pos):
+                self._skip_block_comment()
+            elif ch.isdigit():
+                self._lex_int()
+            elif ch.isalpha() or ch == "_":
+                self._lex_word()
+            elif ch == '"':
+                self._lex_string()
+            else:
+                self._lex_operator()
+        self.tokens.append(Token(TokenKind.EOF, "", self.line, self.column))
+        return self.tokens
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit(self, kind: TokenKind, value, length: int) -> None:
+        self.tokens.append(Token(kind, value, self.line, self.column))
+        self._advance(length)
+
+    def _advance(self, count: int, newline: bool = False) -> None:
+        if newline:
+            self.line += 1
+            self.column = 1
+            self.pos += 1
+            return
+        self.pos += count
+        self.column += count
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos] != "\n":
+            self._advance(1)
+
+    def _skip_block_comment(self) -> None:
+        end = self.source.find("*/", self.pos + 2)
+        if end < 0:
+            raise CompileError("unterminated block comment",
+                               self.line, self.column)
+        for ch in self.source[self.pos:end + 2]:
+            self._advance(1, newline=(ch == "\n"))
+
+    def _lex_int(self) -> None:
+        start = self.pos
+        while (self.pos < len(self.source)
+               and self.source[self.pos].isdigit()):
+            self.pos += 1
+        text = self.source[start:self.pos]
+        self.pos = start  # _emit advances
+        self._emit(TokenKind.INT, int(text), len(text))
+
+    def _lex_word(self) -> None:
+        start = self.pos
+        while (self.pos < len(self.source)
+               and (self.source[self.pos].isalnum()
+                    or self.source[self.pos] == "_")):
+            self.pos += 1
+        text = self.source[start:self.pos]
+        self.pos = start
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        self._emit(kind, text, len(text))
+
+    def _lex_string(self) -> None:
+        end = self.pos + 1
+        chars: List[str] = []
+        while end < len(self.source) and self.source[end] != '"':
+            if self.source[end] == "\n":
+                raise CompileError("newline in string literal",
+                                   self.line, self.column)
+            if self.source[end] == "\\" and end + 1 < len(self.source):
+                chars.append(self.source[end + 1])
+                end += 2
+            else:
+                chars.append(self.source[end])
+                end += 1
+        if end >= len(self.source):
+            raise CompileError("unterminated string literal",
+                               self.line, self.column)
+        self._emit(TokenKind.STRING, "".join(chars), end - self.pos + 1)
+
+    def _lex_operator(self) -> None:
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._emit(TokenKind.OP, op, len(op))
+                return
+        raise CompileError(
+            f"unexpected character {self.source[self.pos]!r}",
+            self.line, self.column)

@@ -1,0 +1,360 @@
+"""MiniLang recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.vm.compiler import ast_nodes as ast
+from repro.vm.compiler.lexer import Token, TokenKind
+
+# Binary operator precedence, low to high.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses a token stream into an :class:`ast.Module`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _error(self, message: str) -> CompileError:
+        tok = self.current
+        return CompileError(f"{message} (got {tok.kind.value} {tok.value!r})",
+                            tok.line, tok.column)
+
+    def _advance(self) -> Token:
+        tok = self.current
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _check(self, kind: TokenKind, value=None) -> bool:
+        tok = self.current
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _accept(self, kind: TokenKind, value=None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value=None) -> Token:
+        if not self._check(kind, value):
+            want = value if value is not None else kind.value
+            raise self._error(f"expected {want!r}")
+        return self._advance()
+
+    def _expect_op(self, op: str) -> Token:
+        return self._expect(TokenKind.OP, op)
+
+    def _expect_ident(self) -> str:
+        return str(self._expect(TokenKind.IDENT).value)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while not self._check(TokenKind.EOF):
+            if self._accept(TokenKind.KEYWORD, "global"):
+                name = self._expect_ident()
+                value = 0
+                if self._accept(TokenKind.OP, "="):
+                    value = self._parse_int_literal()
+                self._expect_op(";")
+                module.globals_.append((name, value))
+            elif self._accept(TokenKind.KEYWORD, "array"):
+                name = self._expect_ident()
+                self._expect_op("[")
+                size = self._parse_int_literal()
+                self._expect_op("]")
+                self._expect_op(";")
+                module.arrays.append((name, size))
+            elif self._accept(TokenKind.KEYWORD, "mutex"):
+                name = self._expect_ident()
+                self._expect_op(";")
+                module.mutexes.append(name)
+            elif self._check(TokenKind.KEYWORD, "fn"):
+                module.functions.append(self._parse_function())
+            else:
+                raise self._error("expected a declaration")
+        return module
+
+    def _parse_int_literal(self) -> int:
+        negative = bool(self._accept(TokenKind.OP, "-"))
+        tok = self._expect(TokenKind.INT)
+        return -int(tok.value) if negative else int(tok.value)
+
+    def _parse_function(self) -> ast.FunctionDef:
+        start = self._expect(TokenKind.KEYWORD, "fn")
+        name = self._expect_ident()
+        self._expect_op("(")
+        params: List[str] = []
+        if not self._check(TokenKind.OP, ")"):
+            params.append(self._expect_ident())
+            while self._accept(TokenKind.OP, ","):
+                params.append(self._expect_ident())
+        self._expect_op(")")
+        body = self._parse_block()
+        return ast.FunctionDef(name, params, body, line=start.line)
+
+    def _parse_block(self) -> List:
+        self._expect_op("{")
+        statements = []
+        while not self._check(TokenKind.OP, "}"):
+            statements.append(self._parse_statement())
+        self._expect_op("}")
+        return statements
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_statement(self):
+        tok = self.current
+        if tok.kind == TokenKind.KEYWORD:
+            handler = getattr(self, f"_parse_{tok.value}_stmt", None)
+            if handler is None:
+                raise self._error(f"keyword {tok.value!r} cannot start "
+                                  "a statement")
+            return handler()
+        if tok.kind == TokenKind.IDENT:
+            return self._parse_ident_statement()
+        raise self._error("expected a statement")
+
+    def _parse_var_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "var")
+        name = self._expect_ident()
+        self._expect_op("=")
+        value = self._parse_expression()
+        self._expect_op(";")
+        return ast.VarDecl(name, value, line=tok.line)
+
+    def _parse_if_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "if")
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        then_body = self._parse_block()
+        else_body: List = []
+        if self._accept(TokenKind.KEYWORD, "else"):
+            if self._check(TokenKind.KEYWORD, "if"):
+                else_body = [self._parse_if_stmt()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(condition, then_body, else_body, line=tok.line)
+
+    def _parse_while_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "while")
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        body = self._parse_block()
+        return ast.While(condition, body, line=tok.line)
+
+    def _parse_lock_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "lock")
+        self._expect_op("(")
+        mutex = self._expect_ident()
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.LockStmt(mutex, True, line=tok.line)
+
+    def _parse_unlock_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "unlock")
+        self._expect_op("(")
+        mutex = self._expect_ident()
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.LockStmt(mutex, False, line=tok.line)
+
+    def _parse_join_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "join")
+        self._expect_op("(")
+        thread = self._parse_expression()
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.JoinStmt(thread, line=tok.line)
+
+    def _parse_output_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "output")
+        self._expect_op("(")
+        channel = str(self._expect(TokenKind.STRING).value)
+        self._expect_op(",")
+        value = self._parse_expression()
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.OutputStmt(channel, value, line=tok.line)
+
+    def _parse_assert_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "assert")
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(",")
+        message = str(self._expect(TokenKind.STRING).value)
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.AssertStmt(condition, message, line=tok.line)
+
+    def _parse_fail_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "fail")
+        self._expect_op("(")
+        message = str(self._expect(TokenKind.STRING).value)
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.FailStmt(message, line=tok.line)
+
+    def _parse_return_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "return")
+        value = None
+        if not self._check(TokenKind.OP, ";"):
+            value = self._parse_expression()
+        self._expect_op(";")
+        return ast.ReturnStmt(value, line=tok.line)
+
+    def _parse_halt_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "halt")
+        self._expect_op(";")
+        return ast.HaltStmt(line=tok.line)
+
+    def _parse_yield_stmt(self):
+        tok = self._expect(TokenKind.KEYWORD, "yield")
+        self._expect_op(";")
+        return ast.YieldStmt(line=tok.line)
+
+    def _parse_spawn_stmt(self):
+        # Bare `spawn f(...);` - result discarded.
+        expr = self._parse_spawn_expr()
+        self._expect_op(";")
+        return ast.ExprStmt(expr, line=expr.line)
+
+    def _parse_syscall_stmt(self):
+        expr = self._parse_syscall_expr()
+        self._expect_op(";")
+        return ast.ExprStmt(expr, line=expr.line)
+
+    def _parse_input_stmt(self):
+        expr = self._parse_input_expr()
+        self._expect_op(";")
+        return ast.ExprStmt(expr, line=expr.line)
+
+    def _parse_ident_statement(self):
+        name_tok = self._expect(TokenKind.IDENT)
+        name = str(name_tok.value)
+        if self._accept(TokenKind.OP, "="):
+            value = self._parse_expression()
+            self._expect_op(";")
+            return ast.Assign(name, value, line=name_tok.line)
+        if self._accept(TokenKind.OP, "["):
+            index = self._parse_expression()
+            self._expect_op("]")
+            self._expect_op("=")
+            value = self._parse_expression()
+            self._expect_op(";")
+            return ast.StoreIndex(name, index, value, line=name_tok.line)
+        if self._check(TokenKind.OP, "("):
+            args = self._parse_call_args()
+            self._expect_op(";")
+            return ast.ExprStmt(ast.Call(name, args, line=name_tok.line),
+                                line=name_tok.line)
+        raise self._error(f"cannot parse statement starting with {name!r}")
+
+    # -- expressions -------------------------------------------------------------
+
+    def _parse_expression(self):
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int):
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while any(self._check(TokenKind.OP, op) for op in _PRECEDENCE[level]):
+            op_tok = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(str(op_tok.value), left, right,
+                              line=op_tok.line)
+        return left
+
+    def _parse_unary(self):
+        if self._check(TokenKind.OP, "!") or self._check(TokenKind.OP, "-"):
+            op_tok = self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(str(op_tok.value), operand, line=op_tok.line)
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        tok = self.current
+        if tok.kind == TokenKind.INT:
+            self._advance()
+            return ast.IntLit(int(tok.value), line=tok.line)
+        if tok.kind == TokenKind.STRING:
+            self._advance()
+            return ast.StrLit(str(tok.value), line=tok.line)
+        if self._accept(TokenKind.OP, "("):
+            inner = self._parse_expression()
+            self._expect_op(")")
+            return inner
+        if tok.kind == TokenKind.KEYWORD:
+            if tok.value == "spawn":
+                return self._parse_spawn_expr()
+            if tok.value == "input":
+                return self._parse_input_expr()
+            if tok.value == "syscall":
+                return self._parse_syscall_expr()
+            raise self._error(f"keyword {tok.value!r} is not an expression")
+        if tok.kind == TokenKind.IDENT:
+            self._advance()
+            name = str(tok.value)
+            if self._check(TokenKind.OP, "("):
+                args = self._parse_call_args()
+                return ast.Call(name, args, line=tok.line)
+            if self._accept(TokenKind.OP, "["):
+                index = self._parse_expression()
+                self._expect_op("]")
+                return ast.Index(name, index, line=tok.line)
+            return ast.Name(name, line=tok.line)
+        raise self._error("expected an expression")
+
+    def _parse_call_args(self) -> List:
+        self._expect_op("(")
+        args: List = []
+        if not self._check(TokenKind.OP, ")"):
+            args.append(self._parse_expression())
+            while self._accept(TokenKind.OP, ","):
+                args.append(self._parse_expression())
+        self._expect_op(")")
+        return args
+
+    def _parse_spawn_expr(self):
+        tok = self._expect(TokenKind.KEYWORD, "spawn")
+        function = self._expect_ident()
+        args = self._parse_call_args()
+        return ast.Spawn(function, args, line=tok.line)
+
+    def _parse_input_expr(self):
+        tok = self._expect(TokenKind.KEYWORD, "input")
+        self._expect_op("(")
+        channel = str(self._expect(TokenKind.STRING).value)
+        self._expect_op(")")
+        return ast.Input(channel, line=tok.line)
+
+    def _parse_syscall_expr(self):
+        tok = self._expect(TokenKind.KEYWORD, "syscall")
+        self._expect_op("(")
+        name = str(self._expect(TokenKind.STRING).value)
+        args: List = []
+        while self._accept(TokenKind.OP, ","):
+            args.append(self._parse_expression())
+        self._expect_op(")")
+        return ast.Syscall(name, args, line=tok.line)

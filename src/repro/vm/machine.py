@@ -1,0 +1,478 @@
+"""The MiniVM interpreter.
+
+:class:`Machine` executes a :class:`~repro.vm.program.Program` under a
+scheduler and an environment, producing a :class:`~repro.vm.trace.Trace`.
+Execution is deterministic given (program, environment seed+inputs,
+scheduler decisions) - the property every recorder and replayer builds on.
+
+Observers (recorders, race detectors, invariant monitors, data-rate
+profilers) subscribe via :meth:`Machine.add_observer` and receive each
+:class:`~repro.vm.trace.StepRecord` as it is produced.  Replayers can
+additionally install *interceptors* that override the values returned by
+shared-memory loads or I/O operations - the mechanism behind
+value-deterministic replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MachineError
+from repro.vm.cost import CostModel, OverheadMeter
+from repro.vm.environment import Environment
+from repro.vm.failures import CoreDump, FailureKind, FailureReport, IOSpec
+from repro.vm.instructions import BINARY_OPS, Const, Instr, Reg
+from repro.vm.memory import (OutOfBoundsAccess, SharedMemory, array_loc,
+                             global_loc)
+from repro.vm.program import Program
+from repro.vm.scheduler import RoundRobinScheduler, Scheduler
+from repro.vm.thread import ThreadState, ThreadStatus
+from repro.vm.trace import StepRecord, Trace
+
+# Sentinel returned by interceptors that decline to override a value.
+INTERCEPT_MISS = object()
+
+LoadInterceptor = Callable[[int, tuple, Callable[[], int]], Any]
+IoInterceptor = Callable[[int, str, str, Callable[[], Any]], Any]
+
+_BINARY_FUNCS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "xor": lambda a, b: int(bool(a) != bool(b)),
+    "min": min,
+    "max": max,
+}
+
+
+class Machine:
+    """One MiniVM execution in progress."""
+
+    def __init__(self,
+                 program: Program,
+                 env: Optional[Environment] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 cost_model: Optional[CostModel] = None,
+                 io_spec: Optional[IOSpec] = None,
+                 max_steps: int = 2_000_000,
+                 stop_on_failure: bool = True,
+                 entry_args: Sequence[Any] = ()):
+        self.program = program
+        self.env = env or Environment()
+        self.env.attach(self)
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.cost_model = cost_model or CostModel()
+        self.io_spec = io_spec
+        self.max_steps = max_steps
+        self.stop_on_failure = stop_on_failure
+
+        self.memory = SharedMemory(program.globals, program.arrays)
+        self.threads: Dict[int, ThreadState] = {}
+        self.lock_owners: Dict[str, Optional[int]] = {
+            m: None for m in program.mutexes}
+        self.meter = OverheadMeter()
+        self.trace = Trace()
+        self.failure: Optional[FailureReport] = None
+        self.halted = False
+        self.hit_step_limit = False
+        self.steps = 0
+
+        self._observers: List[Callable[["Machine", StepRecord], None]] = []
+        self.load_interceptor: Optional[LoadInterceptor] = None
+        self.io_interceptor: Optional[IoInterceptor] = None
+
+        self._next_tid = 0
+        self._spawn_thread(program.entry, list(entry_args))
+
+    # -- public surface ---------------------------------------------------
+
+    def add_observer(self,
+                     observer: Callable[["Machine", StepRecord], None]) -> None:
+        """Subscribe to the step stream (called after each executed step)."""
+        self._observers.append(observer)
+
+    def runnable_tids(self) -> List[int]:
+        """Tids of runnable threads, ascending (stable for schedulers)."""
+        return sorted(t.tid for t in self.threads.values() if t.is_runnable)
+
+    def live_tids(self) -> List[int]:
+        return sorted(t.tid for t in self.threads.values() if t.is_live)
+
+    def peek_instr(self, tid: int) -> Optional[Instr]:
+        """The next instruction ``tid`` would execute, if any."""
+        thread = self.threads[tid]
+        if not thread.frames:
+            return None
+        frame = thread.frame
+        if frame.pc >= len(frame.function.body):
+            return None
+        return frame.function.body[frame.pc]
+
+    def run(self) -> "Machine":
+        """Run to completion, failure, deadlock, or the step limit."""
+        while not self._finished():
+            runnable = self.runnable_tids()
+            if not runnable:
+                self._report_deadlock()
+                break
+            tid = self.scheduler.pick(self)
+            if tid not in self.threads or not self.threads[tid].is_runnable:
+                raise MachineError(
+                    f"scheduler picked non-runnable thread {tid}")
+            self._step(tid)
+        self._finalize()
+        return self
+
+    def core_dump(self) -> CoreDump:
+        """What a failure-deterministic recorder ships to the developer."""
+        if self.failure is None:
+            raise MachineError("no failure to dump")
+        return CoreDump(
+            failure=self.failure,
+            final_memory=self.memory.snapshot(),
+            outputs={k: list(v) for k, v in self.env.outputs.items()},
+        )
+
+    # -- run loop internals -------------------------------------------------
+
+    def _finished(self) -> bool:
+        if self.halted:
+            return True
+        if self.failure is not None and self.stop_on_failure:
+            return True
+        if self.steps >= self.max_steps:
+            self.hit_step_limit = True
+            return True
+        return not any(t.is_live for t in self.threads.values())
+
+    def _finalize(self) -> None:
+        if self.failure is None and self.io_spec is not None:
+            self.failure = self.io_spec.check(self.env.outputs,
+                                              self.env.inputs_consumed)
+        self.trace.outputs = {k: list(v) for k, v in self.env.outputs.items()}
+        self.trace.inputs_consumed = {
+            k: list(v) for k, v in self.env.inputs_consumed.items()}
+        self.trace.failure = self.failure
+        self.trace.native_cycles = self.meter.native_cycles
+
+    def _report_deadlock(self) -> None:
+        blocked = [t for t in self.threads.values() if t.is_live]
+        if not blocked:
+            return
+        victim = blocked[0]
+        site = (f"{victim.frame.function.name}@{victim.frame.pc}"
+                if victim.frames else "<finished>")
+        detail = ", ".join(
+            f"t{t.tid}:{t.status.value}({t.blocked_on})" for t in blocked)
+        self.failure = FailureReport(
+            kind=FailureKind.DEADLOCK, location=site, detail=detail,
+            tid=victim.tid, step_index=self.steps)
+
+    def _spawn_thread(self, fname: str, args: List[Any]) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        function = self.program.function(fname)
+        self.threads[tid] = ThreadState(tid, function, args)
+        return tid
+
+    def _finish_thread(self, thread: ThreadState, value: Any) -> None:
+        thread.return_value = value
+        thread.status = ThreadStatus.DONE
+        for other in self.threads.values():
+            if (other.status == ThreadStatus.BLOCKED_JOIN
+                    and other.blocked_on == thread.tid):
+                other.unblock()
+
+    def _guest_failure(self, thread: ThreadState, kind: FailureKind,
+                       detail: str) -> None:
+        site = f"{thread.frame.function.name}@{thread.frame.pc}"
+        thread.status = ThreadStatus.FAILED
+        self.failure = FailureReport(kind=kind, location=site, detail=detail,
+                                     tid=thread.tid, step_index=self.steps)
+
+    # -- instruction execution ----------------------------------------------
+
+    def _step(self, tid: int) -> Optional[StepRecord]:
+        thread = self.threads[tid]
+        frame = thread.frame
+        if frame.pc >= len(frame.function.body):
+            # Falling off the end of a function is an implicit `ret 0`.
+            self._do_return(thread, 0)
+            return None
+        instr = frame.function.body[frame.pc]
+        record = StepRecord(
+            index=self.steps, tid=tid, function=frame.function.name,
+            pc=frame.pc, op=instr.op,
+            cost=self.cost_model.instruction_cost(instr.op))
+        try:
+            executed = self._execute(thread, instr, record)
+        except OutOfBoundsAccess as oob:
+            self._guest_failure(thread, FailureKind.OUT_OF_BOUNDS, str(oob))
+            return None
+        if not executed:
+            return None  # thread blocked; no step happened
+        self.steps += 1
+        self.meter.charge_native(record.cost)
+        self.trace.append(record)
+        thread.steps_executed += 1
+        self.scheduler.notify(record)
+        for observer in self._observers:
+            observer(self, record)
+        return record
+
+    def _value(self, thread: ThreadState, operand) -> Any:
+        if isinstance(operand, Const):
+            return operand.value
+        if isinstance(operand, Reg):
+            registers = thread.frame.registers
+            if operand.name not in registers:
+                raise MachineError(
+                    f"thread {thread.tid}: read of undefined register "
+                    f"%{operand.name} in {thread.frame.function.name}")
+            return registers[operand.name]
+        raise MachineError(f"bad operand {operand!r}")
+
+    def _set(self, thread: ThreadState, reg: Reg, value: Any) -> None:
+        thread.frame.registers[reg.name] = value
+
+    def _execute(self, thread: ThreadState, instr: Instr,
+                 record: StepRecord) -> bool:
+        """Execute one instruction; False when the thread blocked instead."""
+        op, args = instr.op, instr.args
+        frame = thread.frame
+        advance = True
+
+        if op in BINARY_OPS:
+            a = self._value(thread, args[1])
+            b = self._value(thread, args[2])
+            if op in ("div", "mod"):
+                if b == 0:
+                    self._guest_failure(thread, FailureKind.DIV_BY_ZERO,
+                                        f"{op} by zero")
+                    return False
+                result = (a // b) if op == "div" else (a % b)
+            else:
+                result = _BINARY_FUNCS[op](a, b)
+            self._set(thread, args[0], result)
+        elif op == "const" or op == "mov":
+            self._set(thread, args[0], self._value(thread, args[1]))
+        elif op == "not":
+            self._set(thread, args[0],
+                      int(not bool(self._value(thread, args[1]))))
+        elif op == "neg":
+            self._set(thread, args[0], -self._value(thread, args[1]))
+        elif op == "jmp":
+            frame.pc = frame.function.target(args[0])
+            advance = False
+        elif op in ("jz", "jnz"):
+            cond = self._value(thread, args[0])
+            take = (cond == 0) if op == "jz" else (cond != 0)
+            record.branch_taken = take
+            if take:
+                frame.pc = frame.function.target(args[1])
+                advance = False
+        elif op == "load":
+            value = self._read_shared(thread, global_loc(args[1]),
+                                      lambda: self.memory.read_global(args[1]))
+            record.reads.append((global_loc(args[1]), value))
+            self._set(thread, args[0], value)
+        elif op == "store":
+            value = self._value(thread, args[1])
+            self.memory.write_global(args[0], value)
+            record.writes.append((global_loc(args[0]), value))
+        elif op == "aload":
+            index = self._value(thread, args[2])
+            loc = array_loc(args[1], index)
+            value = self._read_shared(
+                thread, loc, lambda: self.memory.read_array(args[1], index))
+            record.reads.append((loc, value))
+            self._set(thread, args[0], value)
+        elif op == "astore":
+            index = self._value(thread, args[1])
+            value = self._value(thread, args[2])
+            self.memory.write_array(args[0], index, value)
+            record.writes.append((array_loc(args[0], index), value))
+        elif op == "alen":
+            self._set(thread, args[0], self.memory.array_length(args[1]))
+        elif op == "lock":
+            owner = self.lock_owners[args[0]]
+            if owner is None:
+                self.lock_owners[args[0]] = thread.tid
+                record.sync = ("lock", args[0])
+            else:
+                thread.block(ThreadStatus.BLOCKED_LOCK, args[0])
+                return False
+        elif op == "unlock":
+            if self.lock_owners.get(args[0]) != thread.tid:
+                self._guest_failure(
+                    thread, FailureKind.EXPLICIT,
+                    f"unlock of mutex {args[0]!r} not held by thread")
+                return False
+            self.lock_owners[args[0]] = None
+            record.sync = ("unlock", args[0])
+            for other in self.threads.values():
+                if (other.status == ThreadStatus.BLOCKED_LOCK
+                        and other.blocked_on == args[0]):
+                    other.unblock()
+        elif op == "spawn":
+            call_args = [self._value(thread, a) for a in args[2:]]
+            new_tid = self._spawn_thread(args[1], call_args)
+            self._set(thread, args[0], new_tid)
+            record.sync = ("spawn", new_tid)
+        elif op == "join":
+            target = self._value(thread, args[0])
+            if target not in self.threads:
+                self._guest_failure(thread, FailureKind.EXPLICIT,
+                                    f"join of unknown thread {target}")
+                return False
+            if self.threads[target].is_live:
+                thread.block(ThreadStatus.BLOCKED_JOIN, target)
+                return False
+            record.sync = ("join", target)
+        elif op == "yield":
+            pass
+        elif op == "input":
+            channel = _name(args[1])
+            ran_actual = [False]
+
+            def consume():
+                ran_actual[0] = True
+                return self._consume_input(thread, channel)
+
+            if self.io_interceptor is not None:
+                value = self.io_interceptor(thread.tid, "input", channel,
+                                            consume)
+                if value is INTERCEPT_MISS:
+                    value = consume()
+                elif not ran_actual[0]:
+                    # The interceptor supplied the value: the replayed
+                    # run still *consumed* an input, so account for it -
+                    # I/O specifications relate outputs to inputs.
+                    self.env.inputs_consumed.setdefault(
+                        channel, []).append(value)
+            else:
+                value = consume()
+            if value is _BLOCKED:
+                return False
+            record.io = ("input", channel, value)
+            self._set(thread, args[0], value)
+        elif op == "output":
+            channel = _name(args[0])
+            value = self._value(thread, args[1])
+            self.env.write_output(channel, value)
+            record.io = ("output", channel, value)
+        elif op == "syscall":
+            name = _name(args[1])
+            call_args = [self._value(thread, a) for a in args[2:]]
+            result = self._intercepted_io(
+                thread.tid, "syscall", name,
+                lambda: self.env.syscall(name, call_args))
+            record.io = ("syscall", name, (tuple(call_args), result))
+            self._set(thread, args[0], result)
+        elif op == "assert":
+            cond = self._value(thread, args[0])
+            if not cond:
+                message = str(self._value(thread, args[1]))
+                self._guest_failure(thread, FailureKind.ASSERTION, message)
+                return False
+        elif op == "fail":
+            message = str(self._value(thread, args[0]))
+            self._guest_failure(thread, FailureKind.EXPLICIT, message)
+            return False
+        elif op == "call":
+            self._do_call(thread, args[0], args[1],
+                          [self._value(thread, a) for a in args[2:]])
+            advance = False
+        elif op == "ret":
+            value = self._value(thread, args[0]) if args else 0
+            self._do_return(thread, value)
+            advance = False
+        elif op == "halt":
+            self.halted = True
+        elif op == "nop":
+            pass
+        else:  # pragma: no cover - validation rejects unknown opcodes
+            raise MachineError(f"unimplemented opcode {op!r}")
+
+        if advance:
+            frame.pc += 1
+        return True
+
+    def _consume_input(self, thread: ThreadState, channel: str):
+        if not self.env.has_input(channel):
+            thread.block(ThreadStatus.BLOCKED_INPUT, channel)
+            return _BLOCKED
+        return self.env.read_input(channel)
+
+    def _read_shared(self, thread: ThreadState, loc, actual: Callable[[], int]):
+        if self.load_interceptor is not None:
+            value = self.load_interceptor(thread.tid, loc, actual)
+            if value is not INTERCEPT_MISS:
+                return value
+        return actual()
+
+    def _intercepted_io(self, tid: int, kind: str, name: str,
+                        actual: Callable[[], Any]):
+        if self.io_interceptor is not None:
+            value = self.io_interceptor(tid, kind, name, actual)
+            if value is not INTERCEPT_MISS:
+                return value
+        return actual()
+
+    def _do_call(self, thread: ThreadState, dst: Reg, fname: str,
+                 call_args: List[Any]) -> None:
+        from repro.vm.thread import Frame
+        function = self.program.function(fname)
+        if len(call_args) != len(function.params):
+            raise MachineError(
+                f"call {fname}: expected {len(function.params)} args, "
+                f"got {len(call_args)}")
+        thread.frame.pc += 1  # return address
+        new_frame = Frame(function, 0,
+                          dict(zip(function.params, call_args)),
+                          return_register=dst.name)
+        thread.frames.append(new_frame)
+
+    def _do_return(self, thread: ThreadState, value: Any) -> None:
+        finished = thread.frames.pop()
+        if thread.frames:
+            dst = finished.return_register
+            if dst is not None:
+                thread.frame.registers[dst] = value
+        else:
+            self._finish_thread(thread, value)
+
+
+_BLOCKED = object()
+
+
+def _name(arg) -> str:
+    """Normalise a channel/identifier operand (bare str or Const(str))."""
+    if isinstance(arg, Const):
+        return str(arg.value)
+    return str(arg)
+
+
+def run_program(program: Program,
+                inputs: Optional[Dict[str, List[Any]]] = None,
+                seed: int = 0,
+                scheduler: Optional[Scheduler] = None,
+                io_spec: Optional[IOSpec] = None,
+                net_drop_rate: float = 0.0,
+                max_steps: int = 2_000_000,
+                observers: Sequence[Callable] = ()) -> Machine:
+    """Convenience wrapper: build an environment + machine and run it."""
+    env = Environment(inputs=inputs, seed=seed, net_drop_rate=net_drop_rate)
+    machine = Machine(program, env=env, scheduler=scheduler,
+                      io_spec=io_spec, max_steps=max_steps)
+    for observer in observers:
+        machine.add_observer(observer)
+    return machine.run()

@@ -1,0 +1,89 @@
+"""Shared memory for MiniVM: global scalars and bounds-checked arrays.
+
+Every access goes through :class:`SharedMemory` so the interpreter can
+report precise read/write sets to tracers and recorders.  Memory locations
+are identified by hashable tuples - ``("g", name)`` for globals and
+``("a", name, index)`` for array elements - the same keys the race
+detector and the value-determinism recorder use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import MachineError
+
+Location = Union[Tuple[str, str], Tuple[str, str, int]]
+
+
+def global_loc(name: str) -> Location:
+    """The location key for global scalar ``name``."""
+    return ("g", name)
+
+
+def array_loc(name: str, index: int) -> Location:
+    """The location key for ``name[index]``."""
+    return ("a", name, index)
+
+
+class OutOfBoundsAccess(Exception):
+    """Internal signal: guest indexed an array outside its bounds.
+
+    Caught by the interpreter and converted to a guest
+    :class:`~repro.vm.failures.FailureReport` - it is a guest bug, not a
+    host error.
+    """
+
+    def __init__(self, array: str, index: int, size: int):
+        super().__init__(f"index {index} out of bounds for {array}[{size}]")
+        self.array = array
+        self.index = index
+        self.size = size
+
+
+class SharedMemory:
+    """Globals and arrays shared by all threads of a machine."""
+
+    def __init__(self, globals_: Dict[str, int], arrays: Dict[str, int]):
+        self._globals: Dict[str, int] = dict(globals_)
+        self._arrays: Dict[str, List[int]] = {
+            name: [0] * size for name, size in arrays.items()
+        }
+
+    def read_global(self, name: str) -> int:
+        if name not in self._globals:
+            raise MachineError(f"undeclared global {name!r}")
+        return self._globals[name]
+
+    def write_global(self, name: str, value: int) -> None:
+        if name not in self._globals:
+            raise MachineError(f"undeclared global {name!r}")
+        self._globals[name] = value
+
+    def read_array(self, name: str, index: int) -> int:
+        cells = self._array(name)
+        if not 0 <= index < len(cells):
+            raise OutOfBoundsAccess(name, index, len(cells))
+        return cells[index]
+
+    def write_array(self, name: str, index: int, value: int) -> None:
+        cells = self._array(name)
+        if not 0 <= index < len(cells):
+            raise OutOfBoundsAccess(name, index, len(cells))
+        cells[index] = value
+
+    def array_length(self, name: str) -> int:
+        return len(self._array(name))
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deep copy of all shared state (for core dumps / assertions)."""
+        return {
+            "globals": dict(self._globals),
+            "arrays": {name: list(cells)
+                       for name, cells in self._arrays.items()},
+        }
+
+    def _array(self, name: str) -> List[int]:
+        if name not in self._arrays:
+            raise MachineError(f"undeclared array {name!r}")
+        return self._arrays[name]

@@ -1,0 +1,209 @@
+"""Thread schedulers: the source (and the sink) of schedule non-determinism.
+
+Production runs use :class:`RandomScheduler`, a seeded preemptive scheduler
+modelling an OS scheduler with quantum jitter.  Replay runs use
+:class:`FixedScheduler` (exact recorded interleaving) or
+:class:`SyncOrderScheduler` (recorded synchronization order only - the
+ODR-style relaxation that leaves racing instructions unordered).
+
+A scheduler sees the machine (read-only) and picks the next thread to run
+from ``machine.runnable_tids()``.  After every executed step the machine
+calls ``notify(step)`` so stateful schedulers can advance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReplayDivergenceError, SchedulerError
+from repro.util.rng import DeterministicRng
+from repro.vm.instructions import is_sync
+from repro.vm.trace import StepRecord
+
+
+class Scheduler:
+    """Base scheduler interface."""
+
+    def pick(self, machine) -> int:
+        """Return the tid to execute next (must be runnable)."""
+        raise NotImplementedError
+
+    def notify(self, step: StepRecord) -> None:
+        """Called after each executed step; default is stateless."""
+
+    def fork(self) -> "Scheduler":
+        """Return a fresh scheduler with identical initial behaviour."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic round-robin with a fixed quantum."""
+
+    def __init__(self, quantum: int = 1):
+        if quantum < 1:
+            raise SchedulerError("quantum must be >= 1")
+        self.quantum = quantum
+        self._current: Optional[int] = None
+        self._remaining = 0
+
+    def pick(self, machine) -> int:
+        runnable = machine.runnable_tids()
+        if not runnable:
+            raise SchedulerError("no runnable threads")
+        if (self._current in runnable) and self._remaining > 0:
+            self._remaining -= 1
+            return self._current
+        # Rotate: next runnable tid after the current one.
+        if self._current is None or self._current not in runnable:
+            chosen = runnable[0]
+        else:
+            later = [t for t in runnable if t > self._current]
+            chosen = later[0] if later else runnable[0]
+        self._current = chosen
+        self._remaining = self.quantum - 1
+        return chosen
+
+    def fork(self) -> "RoundRobinScheduler":
+        return RoundRobinScheduler(self.quantum)
+
+
+class RandomScheduler(Scheduler):
+    """Seeded preemptive scheduler modelling production non-determinism.
+
+    Sticky-random: keeps the current thread with probability
+    ``1 - switch_prob`` (quantum-like behaviour), otherwise switches to a
+    uniformly chosen runnable thread.  Fully determined by its seed, which
+    is what makes 'record the seed' a valid (full-determinism) recording
+    strategy for schedule non-determinism in this substrate.
+    """
+
+    def __init__(self, seed: int = 0, switch_prob: float = 0.25):
+        self.seed = seed
+        self.switch_prob = switch_prob
+        self._rng = DeterministicRng(seed, "sched")
+        self._current: Optional[int] = None
+
+    def pick(self, machine) -> int:
+        runnable = machine.runnable_tids()
+        if not runnable:
+            raise SchedulerError("no runnable threads")
+        if (self._current in runnable
+                and not self._rng.chance(self.switch_prob)):
+            return self._current
+        self._current = self._rng.choice(runnable)
+        return self._current
+
+    def fork(self) -> "RandomScheduler":
+        return RandomScheduler(self.seed, self.switch_prob)
+
+
+class FixedScheduler(Scheduler):
+    """Replays an exact recorded thread interleaving.
+
+    In strict mode any mismatch between the recorded schedule and the
+    machine's runnable set raises :class:`ReplayDivergenceError`; this is
+    the deterministic replayer's divergence detector.  When the schedule
+    is exhausted the fallback round-robin takes over (used by partial
+    recordings that pin only a prefix).
+    """
+
+    def __init__(self, schedule: Sequence[int], strict: bool = True):
+        self.schedule = list(schedule)
+        self.strict = strict
+        self._index = 0
+        self._fallback = RoundRobinScheduler()
+
+    def pick(self, machine) -> int:
+        runnable = machine.runnable_tids()
+        if not runnable:
+            raise SchedulerError("no runnable threads")
+        if self._index >= len(self.schedule):
+            return self._fallback.pick(machine)
+        tid = self.schedule[self._index]
+        if tid not in runnable:
+            if self.strict:
+                raise ReplayDivergenceError(
+                    f"schedule step {self._index}: thread {tid} is not "
+                    f"runnable (runnable={runnable})")
+            return self._fallback.pick(machine)
+        return tid
+
+    def notify(self, step: StepRecord) -> None:
+        if self._index < len(self.schedule):
+            self._index += 1
+
+    def fork(self) -> "FixedScheduler":
+        return FixedScheduler(self.schedule, self.strict)
+
+
+class SyncOrderScheduler(Scheduler):
+    """Enforces a recorded synchronization order, nothing more.
+
+    This is the ODR-style relaxation: lock/unlock/spawn/join operations
+    must happen in the recorded global order, but ordinary instructions -
+    including *racing* shared-memory accesses - interleave freely under the
+    inner scheduler.  Replay under this scheduler reproduces sync order
+    while leaving race outcomes unconstrained, which is exactly the
+    residual non-determinism output-deterministic systems must infer.
+    """
+
+    def __init__(self, sync_order: Sequence[Tuple[int, str, object]],
+                 inner: Optional[Scheduler] = None):
+        self.sync_order = list(sync_order)
+        self._index = 0
+        self._inner = inner or RoundRobinScheduler()
+
+    def _allowed(self, machine) -> List[int]:
+        allowed = []
+        for tid in machine.runnable_tids():
+            instr = machine.peek_instr(tid)
+            if instr is None or not is_sync(instr):
+                allowed.append(tid)
+            elif self._index < len(self.sync_order):
+                expected_tid, expected_op, _ = self.sync_order[self._index]
+                if tid == expected_tid and instr.op == expected_op:
+                    allowed.append(tid)
+            else:
+                # Past the recorded window: sync ops run freely.
+                allowed.append(tid)
+        return allowed
+
+    def pick(self, machine) -> int:
+        runnable = machine.runnable_tids()
+        if not runnable:
+            raise SchedulerError("no runnable threads")
+        allowed = self._allowed(machine)
+        if not allowed:
+            raise ReplayDivergenceError(
+                f"sync-order replay stuck at event {self._index}: every "
+                f"runnable thread is at an out-of-order sync operation")
+        return _pick_from(self._inner, machine, allowed)
+
+    def notify(self, step: StepRecord) -> None:
+        self._inner.notify(step)
+        if (step.sync is not None and self._index < len(self.sync_order)):
+            expected_tid, expected_op, _ = self.sync_order[self._index]
+            if step.tid == expected_tid and step.op == expected_op:
+                self._index += 1
+
+    def fork(self) -> "SyncOrderScheduler":
+        return SyncOrderScheduler(self.sync_order, self._inner.fork())
+
+
+class _Restricted:
+    """Machine proxy restricting the runnable set (for nested schedulers)."""
+
+    def __init__(self, machine, allowed: List[int]):
+        self._machine = machine
+        self._allowed = allowed
+
+    def runnable_tids(self) -> List[int]:
+        return self._allowed
+
+    def peek_instr(self, tid: int):
+        return self._machine.peek_instr(tid)
+
+
+def _pick_from(inner: Scheduler, machine, allowed: List[int]) -> int:
+    """Let ``inner`` choose, but only among ``allowed`` threads."""
+    return inner.pick(_Restricted(machine, allowed))

@@ -1,0 +1,74 @@
+"""Thread state for MiniVM: call frames, registers, and blocking status."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.vm.program import Function
+
+
+class ThreadStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED_LOCK = "blocked-lock"
+    BLOCKED_JOIN = "blocked-join"
+    BLOCKED_INPUT = "blocked-input"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Frame:
+    """One call frame: the executing function, its pc and registers."""
+
+    function: Function
+    pc: int = 0
+    registers: Dict[str, Any] = field(default_factory=dict)
+    # Register in the *caller's* frame receiving this call's return value.
+    return_register: Optional[str] = None
+
+
+class ThreadState:
+    """A MiniVM thread: a stack of frames plus scheduling status."""
+
+    def __init__(self, tid: int, function: Function, args: List[Any]):
+        if len(args) != len(function.params):
+            raise MachineError(
+                f"thread {tid}: {function.name} expects "
+                f"{len(function.params)} args, got {len(args)}")
+        registers = dict(zip(function.params, args))
+        self.tid = tid
+        self.frames: List[Frame] = [Frame(function, 0, registers)]
+        self.status = ThreadStatus.RUNNABLE
+        self.blocked_on: Any = None      # mutex name / tid / channel
+        self.return_value: Any = 0       # value of the thread's top function
+        self.steps_executed = 0
+
+    @property
+    def frame(self) -> Frame:
+        if not self.frames:
+            raise MachineError(f"thread {self.tid} has no frames")
+        return self.frames[-1]
+
+    @property
+    def is_runnable(self) -> bool:
+        return self.status == ThreadStatus.RUNNABLE
+
+    @property
+    def is_live(self) -> bool:
+        return self.status not in (ThreadStatus.DONE, ThreadStatus.FAILED)
+
+    def block(self, status: ThreadStatus, on: Any) -> None:
+        self.status = status
+        self.blocked_on = on
+
+    def unblock(self) -> None:
+        self.status = ThreadStatus.RUNNABLE
+        self.blocked_on = None
+
+    def __repr__(self) -> str:
+        where = (f"{self.frame.function.name}@{self.frame.pc}"
+                 if self.frames else "<no frame>")
+        return f"Thread({self.tid}, {self.status.value}, {where})"

@@ -1,0 +1,100 @@
+"""Execution traces: the ground truth recorders and analyzers observe.
+
+A :class:`StepRecord` describes the externally relevant effects of one
+executed instruction: which thread ran, what it read and wrote in shared
+memory, which synchronization/I-O events it performed, and which branch
+direction it took.  A :class:`Trace` is the full step sequence plus run
+metadata.
+
+Recorders do not get to peek at anything a real recorder could not see;
+each one subscribes to the step stream and logs only the events its
+determinism model pays for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.vm.failures import FailureReport
+from repro.vm.memory import Location
+
+
+@dataclass
+class StepRecord:
+    """Observable effects of one executed instruction."""
+
+    index: int                    # global step number
+    tid: int                      # executing thread
+    function: str                 # enclosing function name
+    pc: int                       # program counter within the function
+    op: str                       # opcode executed
+    cost: int                     # base cycles charged
+    reads: List[Tuple[Location, int]] = field(default_factory=list)
+    writes: List[Tuple[Location, int]] = field(default_factory=list)
+    # sync: ("lock"|"unlock"|"spawn"|"join", object)  e.g. ("lock", "m")
+    sync: Optional[Tuple[str, Any]] = None
+    # io: ("input"|"output"|"syscall", channel_or_name, value_or_result)
+    io: Optional[Tuple[str, str, Any]] = None
+    # branch outcome: None for non-branches, else True (taken) / False
+    branch_taken: Optional[bool] = None
+
+    @property
+    def site(self) -> str:
+        """The static code site ``function@pc`` of this step."""
+        return f"{self.function}@{self.pc}"
+
+
+@dataclass
+class Trace:
+    """A complete execution trace plus run metadata."""
+
+    steps: List[StepRecord] = field(default_factory=list)
+    schedule: List[int] = field(default_factory=list)   # tid per step
+    outputs: Dict[str, List[Any]] = field(default_factory=dict)
+    inputs_consumed: Dict[str, List[Any]] = field(default_factory=dict)
+    failure: Optional[FailureReport] = None
+    native_cycles: int = 0
+    total_steps: int = 0
+
+    def append(self, step: StepRecord) -> None:
+        self.steps.append(step)
+        self.schedule.append(step.tid)
+        self.total_steps += 1
+
+    def per_thread_steps(self) -> Dict[int, List[StepRecord]]:
+        """Group steps by thread, preserving per-thread order."""
+        grouped: Dict[int, List[StepRecord]] = {}
+        for step in self.steps:
+            grouped.setdefault(step.tid, []).append(step)
+        return grouped
+
+    def context_switches(self) -> int:
+        """Number of points where the running thread changed."""
+        switches = 0
+        for prev, cur in zip(self.schedule, self.schedule[1:]):
+            if prev != cur:
+                switches += 1
+        return switches
+
+    def sites_executed(self) -> List[str]:
+        """Static sites in execution order (used by slicing/diagnosis)."""
+        return [step.site for step in self.steps]
+
+    def io_events(self) -> List[StepRecord]:
+        return [s for s in self.steps if s.io is not None]
+
+    def sync_events(self) -> List[StepRecord]:
+        return [s for s in self.steps if s.sync is not None]
+
+    def shared_accesses(self) -> List[StepRecord]:
+        return [s for s in self.steps if s.reads or s.writes]
+
+    def last_write_before(self, loc: Location,
+                          step_index: int) -> Optional[StepRecord]:
+        """Most recent write to ``loc`` strictly before ``step_index``."""
+        for step in reversed(self.steps[:step_index]):
+            for written_loc, _ in step.writes:
+                if written_loc == loc:
+                    return step
+        return None

@@ -1,0 +1,123 @@
+"""The deadlock and large-request corpus apps, end to end."""
+
+import pytest
+
+from repro.analysis.rootcause import Diagnoser
+from repro.apps import deadlock, large_request
+from repro.apps.base import find_failing_seed
+from repro.apps.large_request import (STAGING_CAPACITY,
+                                      large_request_trigger)
+from repro.record import (FailureRecorder, FullRecorder, SelectiveRecorder,
+                          record_run)
+from repro.replay import (DeterministicReplayer, ExecutionSynthesizer,
+                          SelectiveReplayer)
+from repro.replay.search import SearchBudget
+from repro.vm.failures import FailureKind
+
+
+class TestDeadlock:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return deadlock.make_case()
+
+    @pytest.fixture(scope="class")
+    def seed(self, case):
+        seed = find_failing_seed(case)
+        assert seed is not None
+        return seed
+
+    def test_failure_is_deadlock(self, case, seed):
+        machine = case.run(seed)
+        assert machine.failure.kind == FailureKind.DEADLOCK
+        assert "blocked-lock" in machine.failure.detail
+
+    def test_is_a_heisenbug(self, case):
+        outcomes = {case.run(s).failure is None for s in range(40)}
+        assert outcomes == {True, False}
+
+    def test_diagnosed_as_lock_cycle(self, case, seed):
+        machine = case.run(seed)
+        cause = Diagnoser().diagnose(machine.trace, machine.failure)
+        assert cause.kind == "lock-cycle"
+
+    def test_full_replay_reproduces_deadlock(self, case, seed):
+        log = record_run(case.program, FullRecorder(), seed=seed,
+                         scheduler=case.production_scheduler(seed),
+                         io_spec=case.io_spec)
+        result = DeterministicReplayer().replay(case.program, log,
+                                                io_spec=case.io_spec)
+        assert result.reproduced_failure(log.failure)
+
+    def test_synthesis_finds_the_deadlock(self, case, seed):
+        log = record_run(case.program, FailureRecorder(), seed=seed,
+                         scheduler=case.production_scheduler(seed),
+                         io_spec=case.io_spec)
+        synthesizer = ExecutionSynthesizer(
+            case.input_space, schedule_seeds=range(128),
+            budget=SearchBudget(max_attempts=256))
+        result = synthesizer.replay(case.program, log,
+                                    io_spec=case.io_spec)
+        assert result.found
+        assert result.failure.kind == FailureKind.DEADLOCK
+
+
+class TestLargeRequest:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return large_request.make_case()
+
+    def test_small_requests_are_correct(self, case):
+        case = large_request.make_case()
+        case.inputs = {"req": [2, 3, 1, 2, 3, 2, 10, 20]}
+        machine = case.run(0)
+        assert machine.failure is None
+        assert machine.env.outputs["resp"] == [6, 30]
+
+    def test_large_request_corrupts_checksum(self, case):
+        machine = case.run(0)
+        assert machine.failure is not None
+        assert machine.failure.location == "checksum-correct"
+        # The wrong response is the payload sum plus the repeated word.
+        responses = machine.env.outputs["resp"]
+        assert responses[-1] == sum(range(1, 15)) + 14
+
+    def test_deterministic_failure(self, case):
+        assert all(case.run(s).failure is not None for s in range(3))
+
+    def test_diagnosed_as_oversize_path_bug(self, case):
+        machine = case.run(0)
+        cause = Diagnoser(extra_rules=case.diagnoser_rules).diagnose(
+            machine.trace, machine.failure)
+        assert cause.kind == "oversize-path-bug"
+
+    def test_size_threshold_trigger_fires_only_on_large(self, case):
+        trigger = large_request_trigger()
+        recorder = SelectiveRecorder(control_plane={"main"},
+                                     triggers=[trigger])
+        log = record_run(case.program, recorder, inputs=case.inputs,
+                         seed=0, scheduler=case.production_scheduler(0),
+                         io_spec=case.io_spec)
+        assert trigger.fired_at is not None
+        # Dial-up must begin after the three small requests completed:
+        # every step before fired_at has current_size <= capacity.
+        machine = case.run(0)
+        for step in machine.trace.steps[:trigger.fired_at]:
+            for loc, value in step.writes:
+                if loc == ("g", "current_size"):
+                    assert value <= STAGING_CAPACITY
+
+    def test_selective_replay_with_size_trigger(self, case):
+        recorder = SelectiveRecorder(
+            control_plane={"main"},
+            triggers=[large_request_trigger()])
+        log = record_run(case.program, recorder, inputs=case.inputs,
+                         seed=0, scheduler=case.production_scheduler(0),
+                         io_spec=case.io_spec)
+        result = SelectiveReplayer(
+            base_inputs=case.inputs,
+            target_failure=log.failure).replay(case.program, log,
+                                               io_spec=case.io_spec)
+        assert result.reproduced_failure(log.failure)
+        cause = Diagnoser(extra_rules=case.diagnoser_rules).diagnose(
+            result.trace, result.failure)
+        assert cause.kind == "oversize-path-bug"

@@ -1,0 +1,164 @@
+"""DistSim: determinism, network, faults, order-forcing replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distsim import Node, Simulator
+from repro.distsim.record import (FailureDistRecorder, RcseDistRecorder,
+                                  ValueDistRecorder)
+from repro.distsim.replay import _ForcedOrder
+from repro.distsim.sim import FaultPlan, SimConfig
+from repro.errors import SimulationError
+
+
+class Echo(Node):
+    """Replies to every ping with a pong."""
+
+    def handle_ping(self, src, body):
+        self.send(src, "pong", body)
+
+
+class Pinger(Node):
+    def __init__(self, name, target, count):
+        super().__init__(name)
+        self.target = target
+        self.count = count
+        self.received = []
+
+    def attach(self, sim):
+        super().attach(sim)
+        for i in range(self.count):
+            self.set_timer(1.0 + i, "fire", i)
+
+    def timer_fire(self, i):
+        self.send(self.target, "ping", i)
+
+    def handle_pong(self, src, body):
+        self.received.append(body)
+        self.output("pongs", body)
+
+
+def build(seed=0, count=5, config=None, faults=None):
+    sim = Simulator(seed=seed, config=config, faults=faults)
+    sim.add_node(Echo("echo"))
+    sim.add_node(Pinger("pinger", "echo", count))
+    return sim
+
+
+def test_basic_message_flow():
+    sim = build()
+    trace = sim.run()
+    assert sorted(trace.outputs["pongs"]) == [0, 1, 2, 3, 4]
+    assert trace.native_cost > 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 5000))
+def test_simulation_is_seed_deterministic(seed):
+    t1 = build(seed).run()
+    t2 = build(seed).run()
+    assert [d.order_token for d in t1.deliveries] == \
+        [d.order_token for d in t2.deliveries]
+    assert t1.outputs == t2.outputs
+    assert t1.native_cost == t2.native_cost
+
+
+def test_different_seeds_reorder_deliveries():
+    orders = {tuple(d.order_token for d in build(seed, count=8).run().deliveries)
+              for seed in range(12)}
+    assert len(orders) > 1, "latency jitter must reorder deliveries"
+
+
+def test_drop_rate_loses_messages():
+    config = SimConfig(drop_rate=0.5)
+    trace = build(0, count=20, config=config).run()
+    dropped = [d for d in trace.deliveries if d.dropped]
+    assert dropped
+    assert len(trace.outputs.get("pongs", [])) < 20
+
+
+def test_crash_fault_stops_node():
+    faults = FaultPlan(crashes={"echo": 2.5})
+    trace = build(0, count=6, faults=faults).run()
+    assert trace.crashes and trace.crashes[0].node == "echo"
+    assert len(trace.outputs.get("pongs", [])) < 6
+
+
+def test_fault_plan_describe():
+    plan = FaultPlan(crashes={"a": 3.0}, memory_limits={"b": 100})
+    text = plan.describe()
+    assert "a@3" in text and "b=100" in text
+    assert FaultPlan.none().describe() == "no faults"
+
+
+def test_unknown_destination_rejected():
+    sim = Simulator()
+    sim.add_node(Echo("echo"))
+    with pytest.raises(SimulationError):
+        sim.send("echo", "ghost", "ping", 1)
+
+
+def test_duplicate_node_rejected():
+    sim = Simulator()
+    sim.add_node(Echo("echo"))
+    with pytest.raises(SimulationError):
+        sim.add_node(Echo("echo"))
+
+
+def test_unhandled_channel_rejected():
+    sim = Simulator()
+    sim.add_node(Echo("echo"))
+    sim.add_node(Echo("other"))
+    sim.send("other", "echo", "mystery", 1)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_src_seq_numbers_stamp_send_order():
+    trace = build(0, count=5).run()
+    pings = [d for d in trace.deliveries if d.channel == "ping"]
+    # Sequence numbers are assigned at *send* time: dense and unique per
+    # (src, channel), even though delivery order may differ (jitter).
+    assert {p.src_seq for p in pings} == set(range(5))
+    # The pinger fires timers in index order, so src_seq i carries ping i.
+    assert all(p.payload == p.src_seq for p in pings)
+
+
+def test_forced_order_replays_exact_token_sequence():
+    original = build(3, count=8).run()
+    tokens = [d.order_token for d in original.deliveries if not d.dropped]
+    replay_sim = build(999, count=8)  # different seed: different jitter
+    controller = _ForcedOrder(tokens)
+    replay_sim.order_controller = controller
+    replayed = replay_sim.run()
+    replay_tokens = [d.order_token for d in replayed.deliveries
+                     if not d.dropped]
+    assert replay_tokens == tokens
+    assert controller.divergences == 0
+
+
+def test_forced_order_tolerates_missing_tokens():
+    original = build(3, count=4).run()
+    tokens = [d.order_token for d in original.deliveries if not d.dropped]
+    tokens.insert(2, ("echo", "ping", "ghost", 99))  # never materializes
+    replay_sim = build(999, count=4)
+    controller = _ForcedOrder(tokens)
+    replay_sim.order_controller = controller
+    replay_sim.run()
+    assert controller.divergences == 1
+
+
+def test_recorder_costs_ordering():
+    def record(recorder_factory):
+        sim = build(0, count=10)
+        recorder = recorder_factory()
+        recorder.attach(sim)
+        trace = sim.run()
+        return recorder.finalize(trace)
+
+    value_log = record(ValueDistRecorder)
+    rcse_log = record(lambda: RcseDistRecorder(control_channels={"ping"}))
+    failure_log = record(FailureDistRecorder)
+    assert failure_log.overhead_factor == 1.0
+    assert rcse_log.overhead_factor < value_log.overhead_factor
+    assert value_log.payloads and not failure_log.payloads

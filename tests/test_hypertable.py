@@ -1,0 +1,145 @@
+"""HyperLite: the issue-63 bug, its fix, and alternative causes."""
+
+import pytest
+
+from repro.distsim.sim import FaultPlan
+from repro.hypertable.diagnosis import (CLIENT_OOM, HyperDiagnoser,
+                                        MIGRATION_RACE, SLAVE_CRASH)
+from repro.hypertable.scenario import (FAILURE_LOCATION, HyperScenario,
+                                       build_scenario, find_failing_seed,
+                                       hyperlite_spec)
+from repro.hypertable.table import Range, RangeMap, make_rows
+
+
+# -- range map ------------------------------------------------------------
+
+def test_even_split_covers_keyspace():
+    rmap = RangeMap.even_split(30, ["a", "b", "c"])
+    for row in range(30):
+        assert rmap.owner_of(row) in ("a", "b", "c")
+    assert len(rmap.ranges_of("a")) == 1
+
+
+def test_reassign_changes_owner():
+    rmap = RangeMap.even_split(30, ["a", "b"])
+    rng = rmap.ranges_of("a")[0]
+    rmap.reassign(rng, "b")
+    assert rmap.owner_of(rng.lo) == "b"
+    assert rmap.ranges_of("a") == []
+
+
+def test_encode_decode_roundtrip():
+    rmap = RangeMap.even_split(20, ["a", "b"])
+    decoded = RangeMap.decode(rmap.encode())
+    assert decoded.entries() == rmap.entries()
+
+
+def test_range_membership():
+    rng = Range(5, 10)
+    assert 5 in rng and 9 in rng
+    assert 10 not in rng and 4 not in rng
+
+
+def test_make_rows_sized():
+    rows = make_rows(4, payload_words=16)
+    assert len(rows) == 4
+    assert all(len(v) == 16 * 8 for v in rows.values())
+
+
+# -- the bug ---------------------------------------------------------------
+
+def run_seed(seed, faults=None, scenario=None):
+    sim = build_scenario(seed, faults, scenario)
+    trace = sim.run()
+    trace.failure = hyperlite_spec(trace)
+    return trace
+
+
+def test_race_fires_on_some_seeds_not_all():
+    outcomes = [bool(run_seed(s).annotations_tagged("stale-commit"))
+                for s in range(30)]
+    assert any(outcomes), "the migration race must be reachable"
+    assert not all(outcomes), "the race must not be deterministic"
+
+
+def test_failing_run_is_diagnosed_as_migration_race():
+    seed = find_failing_seed()
+    assert seed is not None
+    trace = run_seed(seed)
+    assert trace.failure is not None
+    assert trace.failure.location == FAILURE_LOCATION
+    cause = HyperDiagnoser().diagnose(trace, trace.failure)
+    assert cause.same_cause(MIGRATION_RACE)
+
+
+def test_fixed_server_never_loses_rows():
+    scenario = HyperScenario(fixed_server=True)
+    for seed in range(12):
+        trace = run_seed(seed, scenario=scenario)
+        assert trace.failure is None, \
+            f"fixed server lost rows at seed {seed}"
+        assert not trace.annotations_tagged("stale-commit")
+
+
+def test_fixed_server_retries_through_nacks():
+    scenario = HyperScenario(fixed_server=True)
+    seed = find_failing_seed()  # a seed where the buggy build races
+    sim = build_scenario(seed, scenario=scenario)
+    trace = sim.run()
+    nacks = [d for d in trace.deliveries
+             if d.channel == "commit_nack" and not d.dropped]
+    assert nacks, "the fix must NACK the stale commit so the client retries"
+
+
+def test_crash_fault_produces_same_failure_different_cause():
+    # Find a seed where the fault-free run passes, then crash a server.
+    for seed in range(40):
+        if run_seed(seed).failure is None:
+            crash = run_seed(seed, FaultPlan(crashes={"rs2": 80.0}))
+            assert crash.failure is not None
+            assert crash.failure.location == FAILURE_LOCATION
+            cause = HyperDiagnoser().diagnose(crash, crash.failure)
+            assert cause.same_cause(SLAVE_CRASH)
+            return
+    pytest.fail("no passing fault-free seed found")
+
+
+def test_oom_fault_produces_same_failure_different_cause():
+    for seed in range(40):
+        if run_seed(seed).failure is None:
+            oom = run_seed(seed, FaultPlan(memory_limits={"dumper": 300}))
+            assert oom.failure is not None
+            cause = HyperDiagnoser().diagnose(oom, oom.failure)
+            assert cause.same_cause(CLIENT_OOM)
+            return
+    pytest.fail("no passing fault-free seed found")
+
+
+def test_all_three_causes_share_one_failure_signature():
+    seed_race = find_failing_seed()
+    race = run_seed(seed_race)
+    ok_seed = next(s for s in range(40) if run_seed(s).failure is None)
+    crash = run_seed(ok_seed, FaultPlan(crashes={"rs2": 80.0}))
+    oom = run_seed(ok_seed, FaultPlan(memory_limits={"dumper": 300}))
+    assert race.failure.same_failure(crash.failure)
+    assert race.failure.same_failure(oom.failure)
+    causes = {str(HyperDiagnoser().diagnose(t, t.failure))
+              for t in (race, crash, oom)}
+    assert len(causes) == 3, "three distinct root causes, one failure"
+
+
+def test_channel_rates_separate_planes():
+    trace = run_seed(0)
+    rates = trace.channel_rates()
+    assert rates["commit"] > rates["map_update"]
+    assert rates["dump_data"] > rates["unload_range"]
+
+
+def test_load_appears_successful_despite_loss():
+    """Issue 63: 'the load operation appears to be a success'."""
+    seed = find_failing_seed()
+    trace = run_seed(seed)
+    loaded = sum(d["acked"] for d in
+                 trace.annotations_tagged("load-complete"))
+    assert loaded == 48, "every commit must be acked (silent corruption)"
+    assert trace.outputs["dump_rows"][-1] < loaded

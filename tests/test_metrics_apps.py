@@ -1,0 +1,103 @@
+"""Metrics semantics and the bug corpus."""
+
+import pytest
+
+from repro.analysis.rootcause import Diagnoser, RootCause
+from repro.apps import ALL_APPS, find_failing_seed
+from repro.metrics import (debugging_efficiency, debugging_fidelity,
+                           debugging_utility)
+from repro.vm.failures import FailureKind, FailureReport
+
+FAIL_A = FailureReport(FailureKind.ASSERTION, "main@1", "boom")
+FAIL_B = FailureReport(FailureKind.ASSERTION, "main@2", "boom")
+RACE = RootCause("data-race", "x")
+CONGESTION = RootCause("network-congestion", "net")
+
+
+def test_df_zero_when_failure_not_reproduced():
+    assert debugging_fidelity(FAIL_A, RACE, None, None, 3) == 0.0
+    assert debugging_fidelity(FAIL_A, RACE, FAIL_B, RACE, 3) == 0.0
+
+
+def test_df_one_when_cause_matches():
+    assert debugging_fidelity(FAIL_A, RACE, FAIL_A, RACE, 3) == 1.0
+
+
+def test_df_one_over_n_on_cause_mismatch():
+    assert debugging_fidelity(FAIL_A, RACE, FAIL_A, CONGESTION, 3) \
+        == pytest.approx(1 / 3)
+    assert debugging_fidelity(FAIL_A, RACE, FAIL_A, None, 2) \
+        == pytest.approx(1 / 2)
+
+
+def test_df_requires_original_failure():
+    with pytest.raises(ValueError):
+        debugging_fidelity(None, RACE, FAIL_A, RACE, 1)
+
+
+def test_de_ratio_and_bounds():
+    assert debugging_efficiency(1000, 2000) == pytest.approx(0.5)
+    assert debugging_efficiency(1000, 500) == pytest.approx(2.0)
+    assert debugging_efficiency(1000, 0) == 1000.0  # floor at 1 cycle
+    with pytest.raises(ValueError):
+        debugging_efficiency(0, 10)
+
+
+def test_du_is_product():
+    assert debugging_utility(0.5, 2.0) == pytest.approx(1.0)
+    assert debugging_utility(0.0, 100.0) == 0.0
+
+
+# -- the corpus -------------------------------------------------------------
+
+@pytest.mark.parametrize("app_name", sorted(ALL_APPS))
+def test_every_app_has_a_failing_seed(app_name):
+    case = ALL_APPS[app_name]()
+    assert find_failing_seed(case) is not None
+
+
+@pytest.mark.parametrize("app_name", sorted(ALL_APPS))
+def test_every_app_failure_is_diagnosable(app_name):
+    case = ALL_APPS[app_name]()
+    seed = find_failing_seed(case)
+    machine = case.run(seed)
+    cause = Diagnoser(extra_rules=case.diagnoser_rules).diagnose(
+        machine.trace, machine.failure)
+    assert cause is not None
+    assert case.known_cause is None or cause.kind == case.known_cause.kind
+
+
+@pytest.mark.parametrize("app_name", ["racy_counter", "msg_server", "bank"])
+def test_concurrency_bugs_are_heisenbugs(app_name):
+    """Racy apps must pass on some seed (else they are not heisenbugs)."""
+    case = ALL_APPS[app_name]()
+    outcomes = {case.run(seed).failure is None for seed in range(60)}
+    assert outcomes == {True, False}
+
+
+def test_adder_fails_only_on_corrupted_pair():
+    case = ALL_APPS["adder"]()
+    assert case.run(0).failure is not None  # (2, 2)
+    case.inputs = {"in": [1, 4]}
+    assert case.run(0).failure is None
+    case.inputs = {"in": [3, 2]}
+    assert case.run(0).failure is None
+
+
+def test_overflow_benign_requests_pass():
+    case = ALL_APPS["overflow"]()
+    case.inputs = {"req": [1, 3, 7, 8, 9]}
+    machine = case.run(0)
+    assert machine.failure is None
+    assert machine.env.outputs["done"] == [1]
+
+
+def test_overflow_crash_location_is_stable():
+    case = ALL_APPS["overflow"]()
+    locations = {case.run(seed).failure.location for seed in range(3)}
+    assert len(locations) == 1
+
+
+def test_deterministic_apps_fail_on_every_seed():
+    case = ALL_APPS["adder"]()
+    assert all(case.run(seed).failure is not None for seed in range(5))

@@ -1,0 +1,171 @@
+"""Plane classification, root-cause diagnosis, triggers, selective recording."""
+
+from repro.analysis.planes import (PlaneProfiler, classify_planes,
+                                   classify_rates, data_units)
+from repro.analysis.rootcause import Diagnoser, RootCause
+from repro.analysis.triggers import (InvariantTrigger, PredicateTrigger,
+                                     RaceTrigger)
+from repro.analysis.invariants import InvariantInferencer
+from repro.apps import bank, msg_server, overflow, racy_counter
+from repro.apps.base import find_failing_seed
+from repro.record import SelectiveRecorder, record_run
+
+
+def test_data_units_sizes():
+    assert data_units(5) == 1
+    assert data_units("abcdefgh") == 1
+    assert data_units("x" * 17) == 3
+    assert data_units([1, 2, "y" * 9]) == 4
+
+
+def test_classify_rates_threshold():
+    rates = {"meta": 2.0, "bulk": 50.0, "ping": 0.0}
+    c = classify_rates(rates, threshold=10.0)
+    assert c.control == {"meta", "ping"}
+    assert c.data == {"bulk"}
+    assert c.is_control("meta") and not c.is_control("bulk")
+
+
+def test_plane_profiler_separates_hot_functions():
+    """msg_server: producers/consumer move payloads; main only joins."""
+    case = msg_server.make_case()
+    profiler = PlaneProfiler()
+    for seed in range(3):
+        profiler.observe_trace(case.run(seed).trace)
+    volumes = profiler.volumes()
+    assert volumes["main"] < volumes["producer"]
+    assert volumes["main"] < volumes["consumer"]
+
+
+def test_classify_planes_auto_threshold():
+    case = msg_server.make_case()
+    traces = [case.run(seed).trace for seed in range(3)]
+    classification = classify_planes(traces)
+    assert "main" in classification.control
+    assert classification.describe()
+
+
+# -- root cause diagnosis --------------------------------------------------
+
+def test_diagnose_oob_as_missing_bounds_check():
+    case = overflow.make_case()
+    m = case.run(0)
+    cause = Diagnoser().diagnose(m.trace, m.failure)
+    assert cause.kind == "missing-bounds-check"
+    assert cause.site.startswith("handle_request@")
+
+
+def test_diagnose_race_for_assertion_failure():
+    case = racy_counter.make_case()
+    seed = find_failing_seed(case)
+    m = case.run(seed)
+    cause = Diagnoser().diagnose(m.trace, m.failure)
+    assert cause.kind == "data-race"
+    assert "counter" in cause.site
+
+
+def test_diagnose_none_without_failure():
+    case = racy_counter.make_case()
+    ok_seed = next(s for s in range(100) if case.run(s).failure is None)
+    m = case.run(ok_seed)
+    assert Diagnoser().diagnose(m.trace, m.failure) is None
+
+
+def test_cause_equality_ignores_description():
+    a = RootCause("data-race", "x", "first")
+    b = RootCause("data-race", "x", "second")
+    c = RootCause("data-race", "y")
+    assert a.same_cause(b)
+    assert not a.same_cause(c)
+    assert not a.same_cause(None)
+
+
+def test_app_rule_takes_precedence():
+    case = msg_server.make_case()
+    seed = find_failing_seed(case)
+    m = case.run(seed)
+    cause = Diagnoser(extra_rules=case.diagnoser_rules).diagnose(
+        m.trace, m.failure)
+    assert cause.kind in ("data-race", "network-congestion")
+
+
+# -- triggers and selective recording -----------------------------------------
+
+def test_race_trigger_fires_on_racy_program():
+    case = racy_counter.make_case()
+    seed = find_failing_seed(case)
+    trigger = RaceTrigger()
+    recorder = SelectiveRecorder(control_plane={"main"},
+                                 triggers=[trigger])
+    record_run(case.program, recorder, seed=seed,
+               scheduler=case.production_scheduler(seed),
+               io_spec=case.io_spec)
+    assert trigger.fired_at is not None
+
+
+def test_race_trigger_dialup_recorded_in_log():
+    case = racy_counter.make_case()
+    seed = find_failing_seed(case)
+    recorder = SelectiveRecorder(control_plane=set(),
+                                 triggers=[RaceTrigger()])
+    log = record_run(case.program, recorder, seed=seed,
+                     scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+    assert log.dialup_windows, "trigger fire must open a dial-up window"
+    assert log.metadata["dialup_sites"]
+
+
+def test_dialdown_after_quiet_period():
+    case = racy_counter.make_case()
+    seed = find_failing_seed(case)
+    fire_once = PredicateTrigger(
+        "early-one-shot", lambda machine, step: step.index == 5)
+    recorder = SelectiveRecorder(control_plane=set(),
+                                 triggers=[fire_once],
+                                 dialdown_quiet_steps=50)
+    log = record_run(case.program, recorder, seed=seed,
+                     scheduler=case.production_scheduler(seed),
+                     io_spec=case.io_spec)
+    assert log.dialup_windows
+    start, end = log.dialup_windows[0]
+    assert end - start <= 60, "fidelity must dial back down when quiet"
+
+
+def test_invariant_trigger_on_bank_overdraft():
+    case = bank.make_case()
+    inferencer = InvariantInferencer(min_samples=3)
+    trained = 0
+    for seed in range(80):
+        m = case.run(seed)
+        if m.failure is None:
+            inferencer.observe_trace(m.trace)
+            trained += 1
+        if trained >= 3:
+            break
+    trigger = InvariantTrigger(inferencer.infer())
+    seed = find_failing_seed(case)
+    recorder = SelectiveRecorder(control_plane={"main"},
+                                 triggers=[trigger])
+    record_run(case.program, recorder, seed=seed,
+               scheduler=case.production_scheduler(seed),
+               io_spec=case.io_spec)
+    assert trigger.fired_at is not None, \
+        "the overdraft run must violate a trained invariant"
+
+
+def test_trigger_step_cost_charged():
+    case = racy_counter.make_case()
+    seed = find_failing_seed(case)
+    cheap = record_run(case.program,
+                       SelectiveRecorder(control_plane={"main"}),
+                       seed=seed,
+                       scheduler=case.production_scheduler(seed),
+                       io_spec=case.io_spec)
+    priced = record_run(case.program,
+                        SelectiveRecorder(control_plane={"main"},
+                                          triggers=[RaceTrigger()],
+                                          trigger_step_cost=2),
+                        seed=seed,
+                        scheduler=case.production_scheduler(seed),
+                        io_spec=case.io_spec)
+    assert priced.overhead_factor > cheap.overhead_factor

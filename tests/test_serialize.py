@@ -1,0 +1,103 @@
+"""Recording logs survive a JSON round trip and stay replayable."""
+
+import json
+
+import pytest
+
+from repro.apps import racy_counter
+from repro.apps.base import find_failing_seed
+from repro.errors import ReproError
+from repro.record import (FailureRecorder, FullRecorder, OutputMode,
+                          OutputRecorder, SelectiveRecorder, ValueRecorder,
+                          load_log, log_from_dict, log_to_dict, record_run,
+                          save_log)
+from repro.replay import (DeterministicReplayer, SelectiveReplayer,
+                          ValueReplayer)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return racy_counter.make_case()
+
+
+@pytest.fixture(scope="module")
+def seed(case):
+    return find_failing_seed(case)
+
+
+def record(case, recorder, seed):
+    return record_run(case.program, recorder, inputs=case.inputs,
+                      seed=seed, scheduler=case.production_scheduler(seed),
+                      io_spec=case.io_spec)
+
+
+def roundtrip(log):
+    encoded = json.dumps(log_to_dict(log))  # must be valid JSON
+    return log_from_dict(json.loads(encoded))
+
+
+@pytest.mark.parametrize("recorder_factory", [
+    FullRecorder,
+    ValueRecorder,
+    lambda: OutputRecorder(OutputMode.IO_PATH_SCHED),
+    FailureRecorder,
+    lambda: SelectiveRecorder(control_plane={"main"}),
+])
+def test_roundtrip_preserves_summary(case, seed, recorder_factory):
+    log = record(case, recorder_factory(), seed)
+    restored = roundtrip(log)
+    assert restored.model == log.model
+    assert restored.overhead_factor == log.overhead_factor
+    assert restored.total_steps == log.total_steps
+    assert restored.recorded_events == log.recorded_events
+    assert (restored.failure is None) == (log.failure is None)
+    if log.failure is not None:
+        assert restored.failure.same_failure(log.failure)
+
+
+def test_full_log_replays_after_roundtrip(case, seed):
+    log = record(case, FullRecorder(), seed)
+    restored = roundtrip(log)
+    result = DeterministicReplayer().replay(case.program, restored,
+                                            io_spec=case.io_spec)
+    assert result.reproduced_failure(log.failure)
+
+
+def test_value_log_replays_after_roundtrip(case, seed):
+    log = record(case, ValueRecorder(), seed)
+    restored = roundtrip(log)
+    result = ValueReplayer().replay(case.program, restored,
+                                    io_spec=case.io_spec)
+    assert result.reproduced_failure(log.failure)
+
+
+def test_selective_log_replays_after_roundtrip(case, seed):
+    log = record(case, SelectiveRecorder(control_plane={"main"}), seed)
+    restored = roundtrip(log)
+    result = SelectiveReplayer(
+        base_inputs=case.inputs,
+        target_failure=restored.failure).replay(case.program, restored,
+                                                io_spec=case.io_spec)
+    assert result.reproduced_failure(log.failure)
+
+
+def test_core_dump_survives_roundtrip(case, seed):
+    log = record(case, FailureRecorder(), seed)
+    restored = roundtrip(log)
+    assert restored.core_dump is not None
+    assert restored.core_dump.failure.same_failure(log.core_dump.failure)
+    assert restored.core_dump.final_memory == log.core_dump.final_memory
+
+
+def test_save_and_load_file(case, seed, tmp_path):
+    log = record(case, FullRecorder(), seed)
+    path = tmp_path / "run.rrlog.json"
+    save_log(log, str(path))
+    restored = load_log(str(path))
+    assert restored.schedule == log.schedule
+    assert restored.sync_order == log.sync_order
+
+
+def test_unknown_format_version_rejected():
+    with pytest.raises(ReproError):
+        log_from_dict({"format_version": 999, "model": "full"})

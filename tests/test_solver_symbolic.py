@@ -1,0 +1,194 @@
+"""Constraint solver and symbolic executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.replay.solver import (Affine, Constraint, ConstraintSystem,
+                                 SymVar)
+from repro.replay.symbolic import SymbolicExecutor
+from repro.util.intervals import Interval
+from repro.vm import assemble
+from repro.vm.compiler import compile_source
+
+X, Y = SymVar("x"), SymVar("y")
+
+
+def affine(cx=0, cy=0, c=0):
+    return Affine({X: cx, Y: cy}, c)
+
+
+def test_affine_algebra():
+    e = affine(cx=2, c=3).add(affine(cy=1, c=-1))
+    assert e.coeffs == {X: 2, Y: 1} and e.const == 2
+    assert e.evaluate({X: 1, Y: 4}) == 8
+    scaled = e.scale(-2)
+    assert scaled.evaluate({X: 1, Y: 4}) == -16
+
+
+def test_affine_nonlinear_rejected():
+    with pytest.raises(SolverError):
+        affine(cx=1).mul(affine(cy=1))
+
+
+def test_solve_simple_equation():
+    # x + y == 5, x >= 3, domain [0, 5]
+    system = ConstraintSystem()
+    system.add(Constraint(affine(1, 1, -5), "=="))
+    system.add(Constraint(affine(-1, 0, 3), "<="))  # 3 - x <= 0
+    system.set_domain(X, Interval(0, 5))
+    system.set_domain(Y, Interval(0, 5))
+    solution = system.solve()
+    assert solution is not None
+    assert solution[X] + solution[Y] == 5 and solution[X] >= 3
+
+
+def test_solve_unsat():
+    system = ConstraintSystem()
+    system.add(Constraint(affine(1, 0, 0), "=="))   # x == 0
+    system.add(Constraint(affine(1, 0, -1), "=="))  # x == 1
+    system.set_domain(X, Interval(0, 5))
+    assert system.solve() is None
+
+
+def test_propagation_narrows_domains():
+    system = ConstraintSystem()
+    system.add(Constraint(affine(1, 0, -3), "=="))  # x == 3
+    system.set_domain(X, Interval(0, 100))
+    domains = system.propagate()
+    assert domains[X] == Interval(3, 3)
+
+
+def test_iter_solutions_enumerates_all():
+    system = ConstraintSystem()
+    system.add(Constraint(affine(1, 1, -3), "=="))  # x + y == 3
+    system.set_domain(X, Interval(0, 3))
+    system.set_domain(Y, Interval(0, 3))
+    solutions = {(s[X], s[Y]) for s in system.iter_solutions(limit=50)}
+    assert solutions == {(0, 3), (1, 2), (2, 1), (3, 0)}
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(-3, 3), st.integers(-3, 3), st.integers(-8, 8),
+       st.sampled_from(["==", "!=", "<=", "<", ">=", ">"]))
+def test_solver_matches_brute_force(cx, cy, c, relop):
+    system = ConstraintSystem()
+    system.add(Constraint(affine(cx, cy, c), relop))
+    system.set_domain(X, Interval(-4, 4))
+    system.set_domain(Y, Interval(-4, 4))
+    solution = system.solve()
+    brute = [
+        {X: x, Y: y}
+        for x in range(-4, 5) for y in range(-4, 5)
+        if Constraint(affine(cx, cy, c), relop).satisfied_by({X: x, Y: y})
+    ]
+    if brute:
+        assert solution is not None
+        assert Constraint(affine(cx, cy, c), relop).satisfied_by(solution)
+    else:
+        assert solution is None
+
+
+@given(st.sampled_from(["==", "!=", "<=", "<", ">=", ">"]),
+       st.integers(-5, 5), st.integers(-5, 5))
+def test_negation_is_complement(relop, x, y):
+    constraint = Constraint(affine(1, 1, -2), relop)
+    assignment = {X: x, Y: y}
+    assert constraint.satisfied_by(assignment) != \
+        constraint.negate().satisfied_by(assignment)
+
+
+# -- symbolic execution --------------------------------------------------------
+
+def test_symbolic_straight_line():
+    program = assemble("""
+    fn main():
+        input %x, "in"
+        add %y, %x, 5
+        output "o", %y
+        halt
+    """)
+    executor = SymbolicExecutor(program, input_domain=Interval(0, 20))
+    inferred = executor.infer_inputs_for_outputs({"o": [12]}, channel="in")
+    assert inferred == {"in": [7]}
+
+
+def test_symbolic_branching_paths():
+    program = assemble("""
+    fn main():
+        input %x, "in"
+        const %t, 10
+        lt %c, %x, %t
+        jz %c, big
+        output "o", 0
+        halt
+    big:
+        output "o", 1
+        halt
+    """)
+    executor = SymbolicExecutor(program, input_domain=Interval(0, 20))
+    small = executor.infer_inputs_for_outputs({"o": [0]}, channel="in")
+    assert small is not None and small["in"][0] < 10
+    big = executor.infer_inputs_for_outputs({"o": [1]}, channel="in")
+    assert big is not None and big["in"][0] >= 10
+
+
+def test_symbolic_adder_inference_misses_failure():
+    """The §2 pitfall at the solver level: output 5 has many preimages."""
+    from repro.apps import adder
+    case = adder.make_case()
+    executor = SymbolicExecutor(case.program, input_domain=Interval(0, 4),
+                                max_paths=256)
+    inferred = executor.infer_inputs_for_outputs({"out": [5]}, channel="in")
+    assert inferred is not None
+    x, y = inferred["in"]
+    # Any solution is accepted; the corrupted-entry pair (2,2) is just one
+    # of several, so the inferred pair is typically a correct execution.
+    assert (x, y) != (2, 2) or x + y == 5 or True
+    # Verify the inferred inputs really produce output 5.
+    from repro.vm import run_program
+    m = run_program(case.program, inputs={"in": [x, y]})
+    assert m.env.outputs["out"] == [5]
+
+
+def test_symbolic_function_calls():
+    program = compile_source("""
+    fn inc(v) { return v + 1; }
+    fn main() {
+        var x = input("in");
+        output("o", inc(inc(x)));
+    }
+    """)
+    executor = SymbolicExecutor(program, input_domain=Interval(0, 50))
+    inferred = executor.infer_inputs_for_outputs({"o": [10]}, channel="in")
+    assert inferred == {"in": [8]}
+
+
+def test_symbolic_rejects_threads():
+    program = assemble("""
+    fn main():
+        spawn %t, w
+        halt
+    fn w():
+        ret
+    """)
+    executor = SymbolicExecutor(program)
+    with pytest.raises(SolverError):
+        executor.explore()
+
+
+def test_symbolic_oob_paths_reported():
+    program = assemble("""
+    array buf 4
+    fn main():
+        input %i, "in"
+        aload %v, buf, %i
+        output "o", %v
+        halt
+    """)
+    executor = SymbolicExecutor(program, input_domain=Interval(0, 10))
+    paths = executor.explore()
+    crash_paths = [p for p in paths if p.failure_site]
+    ok_paths = [p for p in paths if not p.failure_site]
+    assert crash_paths, "index domain exceeds the array: crash path exists"
+    assert len(ok_paths) == 4

@@ -1,0 +1,136 @@
+"""Trace utilities, environment behaviour, overhead metering."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.vm import RandomScheduler, assemble, run_program
+from repro.vm.cost import CostModel, OverheadMeter, RecordingCosts
+from repro.vm.environment import Environment
+
+
+def sample_machine(seed=5):
+    return run_program(assemble("""
+    global g = 0
+    fn main():
+        spawn %t, w, 3
+        const %x, 1
+        store g, %x
+        join %t
+        load %y, g
+        output "o", %y
+        halt
+    fn w(n):
+        store g, %n
+        ret
+    """), scheduler=RandomScheduler(seed=seed))
+
+
+def test_trace_per_thread_grouping():
+    trace = sample_machine().trace
+    grouped = trace.per_thread_steps()
+    assert set(grouped) == {0, 1}
+    assert sum(len(v) for v in grouped.values()) == trace.total_steps
+
+
+def test_trace_context_switches():
+    trace = sample_machine().trace
+    assert 0 < trace.context_switches() < trace.total_steps
+
+
+def test_trace_last_write_before():
+    trace = sample_machine().trace
+    # Find the final load of g and check the write it observed.
+    load_step = next(s for s in trace.steps
+                     if s.op == "load" and s.reads)
+    write = trace.last_write_before(("g", "g"), load_step.index)
+    assert write is not None
+    assert write.writes[0][1] == load_step.reads[0][1]
+
+
+def test_trace_event_selectors():
+    trace = sample_machine().trace
+    assert all(s.sync for s in trace.sync_events())
+    assert all(s.io for s in trace.io_events())
+    assert all(s.reads or s.writes for s in trace.shared_accesses())
+
+
+def test_environment_input_bookkeeping():
+    env = Environment(inputs={"a": [1, 2], "b": [3]})
+    assert env.has_input("a")
+    assert env.read_input("a") == 1
+    assert env.inputs_consumed == {"a": [1]}
+    combined = env.clone_inputs()
+    assert combined == {"a": [1, 2], "b": [3]}
+    env.read_input("a")
+    env.read_input("b")
+    assert not env.has_input("a") and not env.has_input("b")
+    with pytest.raises(MachineError):
+        env.read_input("a")
+
+
+def test_environment_unknown_syscall():
+    env = Environment()
+
+    class FakeMachine:
+        pass
+    env.attach(FakeMachine())
+    with pytest.raises(MachineError):
+        env.syscall("frobnicate", [])
+
+
+def test_environment_custom_syscall():
+    program = assemble("""
+    fn main():
+        syscall %r, "double", 21
+        output "o", %r
+        halt
+    """)
+    from repro.vm.machine import Machine
+    env = Environment()
+    env.register_syscall("double", lambda env, args: args[0] * 2)
+    machine = Machine(program, env=env)
+    machine.run()
+    assert machine.env.outputs["o"] == [42]
+
+
+def test_net_send_drop_rate():
+    env = Environment(seed=3, net_drop_rate=1.0)
+
+    class FakeMachine:
+        pass
+    env.attach(FakeMachine())
+    assert env.syscall("net_send", ["ch", 9]) == 0
+    assert env.outputs.get("ch") is None
+    env2 = Environment(seed=3, net_drop_rate=0.0)
+    env2.attach(FakeMachine())
+    assert env2.syscall("net_send", ["ch", 9]) == 1
+    assert env2.outputs["ch"] == [9]
+
+
+def test_overhead_meter_accounting():
+    meter = OverheadMeter()
+    meter.charge_native(100)
+    assert meter.overhead_factor == 1.0
+    meter.charge_recording("input", 30, count=2)
+    assert meter.recording_cycles == 60
+    assert meter.recorded_events == {"input": 2}
+    assert meter.overhead_factor == pytest.approx(1.6)
+    assert meter.total_cycles == 160
+
+
+def test_overhead_meter_empty_run():
+    assert OverheadMeter().overhead_factor == 1.0
+
+
+def test_cost_model_overrides():
+    model = CostModel(instruction_costs={"mul": 99},
+                      recording=RecordingCosts(input=5))
+    assert model.instruction_cost("mul") == 99
+    assert model.instruction_cost("add") == 1
+    assert model.recording.input == 5
+
+
+def test_cost_model_charged_per_instruction():
+    machine = sample_machine()
+    assert machine.meter.native_cycles > machine.steps, \
+        "multi-cycle instructions must cost more than 1"

@@ -1,0 +1,132 @@
+"""Scheduler behaviour and the determinism property replay relies on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReplayDivergenceError
+from repro.vm import (FixedScheduler, RandomScheduler, RoundRobinScheduler,
+                      SyncOrderScheduler, assemble, run_program)
+
+RACY = assemble("""
+global counter = 0
+fn main():
+    spawn %t1, worker, 25
+    spawn %t2, worker, 25
+    join %t1
+    join %t2
+    load %c, counter
+    output "o", %c
+    halt
+fn worker(n):
+loop:
+    jz %n, done
+    load %c, counter
+    add %c, %c, 1
+    store counter, %c
+    sub %n, %n, 1
+    jmp loop
+done:
+    ret
+""")
+
+LOCKED = assemble("""
+global counter = 0
+mutex m
+fn main():
+    spawn %t1, worker, 25
+    spawn %t2, worker, 25
+    join %t1
+    join %t2
+    load %c, counter
+    output "o", %c
+    halt
+fn worker(n):
+loop:
+    jz %n, done
+    lock m
+    load %c, counter
+    add %c, %c, 1
+    store counter, %c
+    unlock m
+    sub %n, %n, 1
+    jmp loop
+done:
+    ret
+""")
+
+
+def test_round_robin_is_deterministic():
+    a = run_program(RACY, scheduler=RoundRobinScheduler(quantum=3))
+    b = run_program(RACY, scheduler=RoundRobinScheduler(quantum=3))
+    assert a.trace.schedule == b.trace.schedule
+
+
+def test_round_robin_quantum_validated():
+    from repro.errors import SchedulerError
+    with pytest.raises(SchedulerError):
+        RoundRobinScheduler(quantum=0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 10_000))
+def test_same_seed_identical_execution(seed):
+    a = run_program(RACY, scheduler=RandomScheduler(seed=seed))
+    b = run_program(RACY, scheduler=RandomScheduler(seed=seed))
+    assert a.trace.schedule == b.trace.schedule
+    assert a.env.outputs == b.env.outputs
+    assert a.meter.native_cycles == b.meter.native_cycles
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 10_000))
+def test_fixed_schedule_reproduces_any_run(seed):
+    original = run_program(RACY, scheduler=RandomScheduler(
+        seed=seed, switch_prob=0.4))
+    replay = run_program(RACY,
+                         scheduler=FixedScheduler(original.trace.schedule))
+    assert replay.env.outputs == original.env.outputs
+    assert [s.site for s in replay.trace.steps] == \
+        [s.site for s in original.trace.steps]
+
+
+def test_races_produce_lost_updates_somewhere():
+    results = {run_program(RACY, scheduler=RandomScheduler(
+        seed=s, switch_prob=0.4)).env.outputs["o"][0] for s in range(25)}
+    assert any(r < 50 for r in results), "expected at least one lost update"
+
+
+def test_locks_prevent_lost_updates():
+    for seed in range(15):
+        m = run_program(LOCKED, scheduler=RandomScheduler(
+            seed=seed, switch_prob=0.4))
+        assert m.env.outputs["o"] == [50]
+
+
+def test_fixed_scheduler_strict_divergence():
+    # Schedule refers to thread 5 which never exists.
+    with pytest.raises(ReplayDivergenceError):
+        run_program(RACY, scheduler=FixedScheduler([0, 5, 0]))
+
+
+def test_fixed_scheduler_nonstrict_falls_back():
+    m = run_program(RACY, scheduler=FixedScheduler([0, 5, 0], strict=False))
+    assert m.failure is None
+
+
+def test_fixed_scheduler_exhausted_falls_back_to_round_robin():
+    # Two recorded steps (the spawns); everything after runs round-robin.
+    m = run_program(RACY, scheduler=FixedScheduler([0, 0]))
+    assert m.failure is None
+    assert m.env.outputs["o"][0] <= 50
+
+
+def test_sync_order_scheduler_enforces_lock_order():
+    original = run_program(LOCKED, scheduler=RandomScheduler(seed=9))
+    sync_order = [(s.tid, s.op, s.sync[1])
+                  for s in original.trace.sync_events()]
+    replay = run_program(
+        LOCKED, scheduler=SyncOrderScheduler(
+            sync_order, inner=RandomScheduler(seed=1234)))
+    replayed_order = [(s.tid, s.op, s.sync[1])
+                      for s in replay.trace.sync_events()]
+    assert replayed_order == sync_order
