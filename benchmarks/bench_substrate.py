@@ -5,31 +5,16 @@ DistSim event dispatch speed.  They exist so substrate regressions are
 visible, not to reproduce a figure.
 """
 
+import pytest
+
 from repro.distsim import Node, Simulator
+from repro.harness.bench import COUNTER_SRC
 from repro.vm import RandomScheduler, assemble, run_program
 
-COUNTER = assemble("""
-global counter = 0
-mutex m
-fn main():
-    spawn %t1, worker, 300
-    spawn %t2, worker, 300
-    join %t1
-    join %t2
-    halt
-fn worker(n):
-loop:
-    jz %n, done
-    lock m
-    load %c, counter
-    add %c, %c, 1
-    store counter, %c
-    unlock m
-    sub %n, %n, 1
-    jmp loop
-done:
-    ret
-""")
+pytestmark = pytest.mark.perf
+
+# The same workload the golden-trace test pins and `repro bench` times.
+COUNTER = assemble(COUNTER_SRC)
 
 
 def test_vm_throughput(benchmark):
@@ -70,6 +55,30 @@ def _run_relay():
 def test_distsim_throughput(benchmark):
     trace = benchmark(_run_relay)
     assert len(trace.deliveries) >= 2000
+
+
+def test_trace_query_cost(benchmark):
+    """Indexed trace queries on a 100k-step trace.
+
+    ``last_write_before`` was an O(n) backwards scan per call and
+    ``sites_executed`` an O(n) rebuild per call; both now hit lazily
+    built indexes (bisect over per-location write positions, cached site
+    list), so thousands of queries cost milliseconds, not minutes.
+    Uses the same synthetic trace and query mix as `repro bench`.
+    """
+    from repro.harness.bench import (TRACE_BENCH_STEPS,
+                                     build_synthetic_trace,
+                                     last_write_query_hits)
+
+    trace = build_synthetic_trace()
+    trace.sites_executed()  # build the lazy indexes once, up front
+
+    def queries():
+        return last_write_query_hits(trace), len(trace.sites_executed())
+
+    hits, n_sites = benchmark(queries)
+    assert n_sites == TRACE_BENCH_STEPS
+    assert hits > 1000
 
 
 def test_recorder_observation_cost(benchmark):

@@ -6,6 +6,8 @@ Commands
 ``run <experiment-id>``    run one experiment and print its table(s)
 ``apps``                   list the bug corpus
 ``demo <app> [--model M]`` record + replay one corpus bug under a model
+``bench``                  run the substrate benchmarks, print the
+                           steps/sec tables, write BENCH_interpreter.json
 """
 
 from __future__ import annotations
@@ -59,6 +61,16 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import run_bench
+    tables = run_bench(path=args.output, repeats=args.repeats)
+    for table in tables:
+        print(table.render())
+        print()
+    print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -80,6 +92,13 @@ def main(argv=None) -> int:
                              choices=["full", "value", "output",
                                       "failure", "rcse"])
     demo_parser.set_defaults(func=_cmd_demo)
+    bench_parser = commands.add_parser(
+        "bench", help="run substrate benchmarks and print steps/sec tables")
+    bench_parser.add_argument("--output", default="BENCH_interpreter.json",
+                              help="where to write the JSON perf summary")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="timing repetitions per workload")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -144,7 +144,9 @@ class InvariantInferencer:
         self._pairs_seen: Dict[Tuple[Location, Location], int] = {}
 
     def observe_trace(self, trace: Trace) -> None:
-        for step in trace.steps:
+        # Only write-bearing steps can change inferred invariants; the
+        # trace's cached write index skips the pure-register majority.
+        for step in trace.write_events():
             self.observe_step(step)
 
     def observe_step(self, step: StepRecord) -> None:

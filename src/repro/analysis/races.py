@@ -96,7 +96,10 @@ class HappensBeforeDetector:
         return new_reports
 
     def run_on_trace(self, trace: Trace) -> List[RaceReport]:
-        for step in trace.steps:
+        # Pure-register steps carry no sync/shared-memory effects, so the
+        # detector's state is unchanged by them; the trace's cached event
+        # subset skips them wholesale.
+        for step in trace.memory_or_sync_events():
             self.process(step)
         return self.reports
 
@@ -192,7 +195,7 @@ class LocksetDetector:
             self._touch(loc, tid, step.site, held, is_write=True)
 
     def run_on_trace(self, trace: Trace) -> List[RaceReport]:
-        for step in trace.steps:
+        for step in trace.memory_or_sync_events():
             self.process(step)
         return self.racy_locations()
 
@@ -235,3 +238,19 @@ def find_races(trace: Trace, method: str = "lockset") -> List[RaceReport]:
     if method == "happens-before":
         return HappensBeforeDetector().run_on_trace(trace)
     raise ValueError(f"unknown race detection method {method!r}")
+
+
+def cached_lockset_races(trace: Trace) -> List[RaceReport]:
+    """Lockset analysis of ``trace``, memoized on the trace itself.
+
+    Root-cause enumeration diagnoses the same trace repeatedly (once for
+    search deduplication, once for the final cause set); caching turns
+    those repeat O(n) passes into O(1) lookups.  The cache is keyed by
+    the trace's step count so a trace that grows is re-analyzed.
+    """
+    cached = getattr(trace, "_lockset_cache", None)
+    if cached is not None and cached[0] == trace.total_steps:
+        return cached[1]
+    reports = LocksetDetector().run_on_trace(trace)
+    trace._lockset_cache = (trace.total_steps, reports)
+    return reports

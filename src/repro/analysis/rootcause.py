@@ -25,7 +25,7 @@ from repro.vm.failures import FailureKind, FailureReport
 from repro.vm.machine import Machine
 from repro.vm.trace import Trace
 
-from repro.analysis.races import LocksetDetector
+from repro.analysis.races import cached_lockset_races
 
 
 @dataclass(frozen=True)
@@ -101,8 +101,11 @@ class Diagnoser:
 
         Uses lockset analysis (schedule-insensitive) so that replays with
         different interleavings still converge on the same cause identity.
+        The per-trace result is memoized: enumeration diagnoses each
+        accepted machine twice (dedupe key + final cause set), and only
+        the first diagnosis scans the trace.
         """
-        races = LocksetDetector().run_on_trace(trace)
+        races = cached_lockset_races(trace)
         if not races:
             return None
         # Deterministic choice: the lexicographically first racy location.

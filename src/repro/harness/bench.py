@@ -1,0 +1,258 @@
+"""Substrate performance benchmarks: interpreter throughput + trace queries.
+
+The perf trajectory of the MiniVM hot path is tracked across PRs: the
+workloads here are executed both by ``benchmarks/bench_interpreter.py``
+(pytest-benchmark, statistical) and by ``python -m repro bench`` (one
+command, prints the steps/sec table and writes ``BENCH_interpreter.json``).
+
+Workloads cover the interpreter's main cost regimes:
+
+``counter``    lock-protected shared counter, 3 threads (the historical
+               ``test_vm_throughput`` workload; sync + shared memory).
+``tight_loop`` single thread, pure register arithmetic + branches - the
+               decode-dispatch floor.
+``calls``      call/return-heavy recursion - frame allocation cost.
+``array``      shared-array streaming - bounds-checked memory path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.util.tables import Table
+from repro.vm import RandomScheduler, assemble, run_program
+from repro.vm.trace import StepRecord, Trace
+
+BENCH_SUMMARY_PATH = "BENCH_interpreter.json"
+
+COUNTER_SRC = """
+global counter = 0
+mutex m
+fn main():
+    spawn %t1, worker, 300
+    spawn %t2, worker, 300
+    join %t1
+    join %t2
+    halt
+fn worker(n):
+loop:
+    jz %n, done
+    lock m
+    load %c, counter
+    add %c, %c, 1
+    store counter, %c
+    unlock m
+    sub %n, %n, 1
+    jmp loop
+done:
+    ret
+"""
+
+TIGHT_LOOP_SRC = """
+fn main():
+    const %n, 3000
+    const %acc, 0
+loop:
+    jz %n, done
+    add %acc, %acc, %n
+    mul %t, %n, 2
+    sub %n, %n, 1
+    jmp loop
+done:
+    output "o", %acc
+    halt
+"""
+
+CALLS_SRC = """
+fn fib(n):
+    lt %small, %n, 2
+    jnz %small, base
+    sub %a, %n, 1
+    call %x, fib, %a
+    sub %b, %n, 2
+    call %y, fib, %b
+    add %r, %x, %y
+    ret %r
+base:
+    ret %n
+fn main():
+    call %r, fib, 12
+    output "o", %r
+    halt
+"""
+
+ARRAY_SRC = """
+array buf 64
+fn main():
+    const %n, 1500
+    const %i, 0
+loop:
+    jz %n, done
+    mod %slot, %i, 64
+    aload %v, buf, %slot
+    add %v, %v, 1
+    astore buf, %slot, %v
+    add %i, %i, 1
+    sub %n, %n, 1
+    jmp loop
+done:
+    halt
+"""
+
+WORKLOADS = {
+    "counter": (COUNTER_SRC, 1),
+    "tight_loop": (TIGHT_LOOP_SRC, 0),
+    "calls": (CALLS_SRC, 0),
+    "array": (ARRAY_SRC, 0),
+}
+
+
+def run_workload(name: str):
+    """Execute one named workload; returns the finished machine."""
+    src, seed = WORKLOADS[name]
+    return run_program(assemble(src), scheduler=RandomScheduler(seed=seed))
+
+
+def bench_interpreter(repeats: int = 3) -> Table:
+    """Steps/sec for every workload (best of ``repeats``, post-warmup)."""
+    table = Table(["workload", "steps", "seconds", "steps_per_sec"],
+                  title="MiniVM interpreter throughput")
+    for name in WORKLOADS:
+        program = assemble(WORKLOADS[name][0])
+        seed = WORKLOADS[name][1]
+        run_program(program, scheduler=RandomScheduler(seed=seed))  # warmup
+        best_rate = 0.0
+        best_seconds = 0.0
+        steps = 0
+        for __ in range(max(1, repeats)):
+            start = time.perf_counter()
+            machine = run_program(program,
+                                  scheduler=RandomScheduler(seed=seed))
+            elapsed = time.perf_counter() - start
+            steps = machine.steps
+            rate = steps / elapsed if elapsed > 0 else float("inf")
+            if rate > best_rate:
+                best_rate = rate
+                best_seconds = elapsed
+        table.add_row(workload=name, steps=steps, seconds=best_seconds,
+                      steps_per_sec=round(best_rate))
+    return table
+
+
+# Shared trace-query benchmark shape: both the pytest-benchmark variant
+# (benchmarks/bench_substrate.py::test_trace_query_cost) and `repro bench`
+# measure the same synthetic trace and the same query mix.
+TRACE_BENCH_STEPS = 100_000
+TRACE_BENCH_LOCATIONS = 64
+TRACE_BENCH_QUERIES = 2000
+
+
+def last_write_query_hits(trace: Trace, n_queries: int = TRACE_BENCH_QUERIES,
+                          n_locations: int = TRACE_BENCH_LOCATIONS) -> int:
+    """Run the standard ``last_write_before`` query mix; returns hits."""
+    n_steps = trace.total_steps
+    hits = 0
+    for i in range(n_queries):
+        step = trace.last_write_before(("g", f"g{i % n_locations}"),
+                                       (i * 37) % n_steps)
+        if step is not None:
+            hits += 1
+    return hits
+
+
+def build_synthetic_trace(n_steps: int = TRACE_BENCH_STEPS,
+                          n_locations: int = TRACE_BENCH_LOCATIONS) -> Trace:
+    """A large trace with a realistic mix of step kinds for query benches."""
+    trace = Trace()
+    for i in range(n_steps):
+        kind = i % 10
+        if kind < 6:  # pure register step
+            trace.append(StepRecord(i, i % 3, "main", i % 500, "add", 1))
+        elif kind < 8:
+            loc = ("g", f"g{i % n_locations}")
+            trace.append(StepRecord(i, i % 3, "main", i % 500, "store", 2,
+                                    writes=[(loc, i)]))
+        elif kind < 9:
+            loc = ("g", f"g{i % n_locations}")
+            trace.append(StepRecord(i, i % 3, "main", i % 500, "load", 2,
+                                    reads=[(loc, i)]))
+        else:
+            trace.append(StepRecord(i, i % 3, "main", i % 500, "lock", 6,
+                                    sync=("lock", "m")))
+    return trace
+
+
+def bench_trace_queries(n_steps: int = TRACE_BENCH_STEPS,
+                        n_queries: int = TRACE_BENCH_QUERIES) -> Table:
+    """Query cost on a large trace once the lazy indexes are built."""
+    trace = build_synthetic_trace(n_steps)
+    table = Table(["query", "trace_steps", "queries", "seconds",
+                   "queries_per_sec"],
+                  title="Trace query cost (indexed)")
+
+    start = time.perf_counter()
+    trace.sites_executed()  # builds every index
+    build_seconds = time.perf_counter() - start
+    table.add_row(query="index_build", trace_steps=n_steps, queries=1,
+                  seconds=build_seconds,
+                  queries_per_sec=round(1 / build_seconds)
+                  if build_seconds > 0 else 0)
+
+    start = time.perf_counter()
+    last_write_query_hits(trace, n_queries)
+    elapsed = time.perf_counter() - start
+    table.add_row(query="last_write_before", trace_steps=n_steps,
+                  queries=n_queries, seconds=elapsed,
+                  queries_per_sec=round(n_queries / elapsed)
+                  if elapsed > 0 else 0)
+
+    start = time.perf_counter()
+    for i in range(n_queries):
+        trace.steps_at_site(f"main@{i % 500}")
+    elapsed = time.perf_counter() - start
+    table.add_row(query="steps_at_site", trace_steps=n_steps,
+                  queries=n_queries, seconds=elapsed,
+                  queries_per_sec=round(n_queries / elapsed)
+                  if elapsed > 0 else 0)
+
+    start = time.perf_counter()
+    for __ in range(20):
+        trace.sites_executed()
+    elapsed = time.perf_counter() - start
+    table.add_row(query="sites_executed", trace_steps=n_steps, queries=20,
+                  seconds=elapsed,
+                  queries_per_sec=round(20 / elapsed) if elapsed > 0 else 0)
+    return table
+
+
+def write_summary(interpreter: Table,
+                  queries: Optional[Table] = None,
+                  path: str = BENCH_SUMMARY_PATH) -> Dict[str, Any]:
+    """Write the machine-readable perf summary tracked across PRs."""
+    summary: Dict[str, Any] = {
+        "benchmark": "minivm-interpreter",
+        "workloads": {row["workload"]: {
+            "steps": row["steps"],
+            "steps_per_sec": row["steps_per_sec"],
+        } for row in interpreter},
+    }
+    if queries is not None:
+        summary["trace_queries"] = {row["query"]: {
+            "trace_steps": row["trace_steps"],
+            "queries_per_sec": row["queries_per_sec"],
+        } for row in queries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return summary
+
+
+def run_bench(path: str = BENCH_SUMMARY_PATH,
+              repeats: int = 3) -> List[Table]:
+    """The ``python -m repro bench`` entry point."""
+    interpreter = bench_interpreter(repeats=repeats)
+    queries = bench_trace_queries()
+    write_summary(interpreter, queries, path=path)
+    return [interpreter, queries]

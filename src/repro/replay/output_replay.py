@@ -134,10 +134,7 @@ class OdrReplayer(Replayer):
 
     @staticmethod
     def _paths_match(machine: Machine, log: RecordingLog) -> bool:
-        replayed: dict = {}
-        for step in machine.trace.steps:
-            if step.branch_taken is not None:
-                replayed.setdefault(step.tid, []).append(step.branch_taken)
+        replayed = machine.trace.thread_branch_paths()
         # Compare as multisets of per-thread paths: tids may be renumbered
         # between runs, but each recorded thread's path must be realized.
         recorded = sorted(map(tuple, log.thread_paths.values()))

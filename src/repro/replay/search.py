@@ -167,12 +167,17 @@ class ExecutionSearch:
         budget = budget or SearchBudget()
         outcome = SearchOutcome(machine=None)
         seen_keys = set()
+        # The explored machines all share one program, so the interpreter's
+        # decode-once dispatch compiles each function body a single time
+        # for the entire search; per-candidate cost is pure execution.
+        run_candidate = self.run_candidate
+        schedule_seeds = self.schedule_seeds
+        allows = budget.allows
         for inputs in self.input_space.candidates():
-            for seed in self.schedule_seeds:
-                if not budget.allows(outcome.attempts,
-                                     outcome.inference_cycles):
+            for seed in schedule_seeds:
+                if not allows(outcome.attempts, outcome.inference_cycles):
                     return outcome
-                machine = self.run_candidate(inputs, seed)
+                machine = run_candidate(inputs, seed)
                 outcome.attempts += 1
                 outcome.inference_cycles += machine.meter.native_cycles
                 if not accept(machine):

@@ -73,8 +73,9 @@ class GuidedOrderScheduler(Scheduler):
         if not thread.frames:
             return None
         frame = thread.frame
-        if frame.pc >= len(frame.function.body):
-            return None
+        # pc == len(body) is the implicit-ret virtual site: it executes
+        # (and is recorded) exactly like an explicit ret, so it must be
+        # gated against the recorded order like any other site.
         return frame.function.name, f"{frame.function.name}@{frame.pc}"
 
     def _is_recorded_class(self, function: str, site: str) -> bool:

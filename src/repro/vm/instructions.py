@@ -47,6 +47,27 @@ BINARY_OPS = {
     "min", "max",
 }
 
+# Semantics of the non-trapping binary opcodes (div/mod live in the
+# interpreter because they can raise a guest failure).  The decode-once
+# dispatcher resolves each instruction's function from this table at
+# program-load time, so the per-step path never looks an opcode up again.
+BINARY_FUNCS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "xor": lambda a, b: int(bool(a) != bool(b)),
+    "min": min,
+    "max": max,
+}
+
 # opcode -> human-readable operand signature (used by the validator and
 # assembler; the interpreter dispatches on the opcode name).
 #   d=dest register, s=source operand, g=global name, a=array name,

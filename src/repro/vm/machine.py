@@ -11,22 +11,37 @@ profilers) subscribe via :meth:`Machine.add_observer` and receive each
 additionally install *interceptors* that override the values returned by
 shared-memory loads or I/O operations - the mechanism behind
 value-deterministic replay.
+
+Decode-once dispatch
+--------------------
+Instructions are compiled to bound handler closures the first time a
+function executes under a program: operands are pre-classified as
+``Const``/``Reg`` (a constant is captured by value, a register by name),
+jump labels are resolved to integer targets, global locations are
+pre-built, and binary opcodes are bound to their evaluation functions.
+The per-step path is then ``handler(machine, thread, frame, record)`` -
+no opcode string comparisons, no per-operand ``isinstance`` checks.
+Decoded bodies are cached on the :class:`~repro.vm.program.Function`
+(keyed by program identity), so the thousands of machines a replay
+search spawns for one program all share a single decode.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MachineError
 from repro.vm.cost import CostModel, OverheadMeter
 from repro.vm.environment import Environment
 from repro.vm.failures import CoreDump, FailureKind, FailureReport, IOSpec
-from repro.vm.instructions import BINARY_OPS, Const, Instr, Reg
+from repro.vm.instructions import (BINARY_FUNCS, BINARY_OPS, Const, Instr,
+                                   Reg)
 from repro.vm.memory import (OutOfBoundsAccess, SharedMemory, array_loc,
                              global_loc)
-from repro.vm.program import Program
+from repro.vm.program import Function, Program
 from repro.vm.scheduler import RoundRobinScheduler, Scheduler
-from repro.vm.thread import ThreadState, ThreadStatus
+from repro.vm.thread import Frame, ThreadState, ThreadStatus
 from repro.vm.trace import StepRecord, Trace
 
 # Sentinel returned by interceptors that decline to override a value.
@@ -35,22 +50,505 @@ INTERCEPT_MISS = object()
 LoadInterceptor = Callable[[int, tuple, Callable[[], int]], Any]
 IoInterceptor = Callable[[int, str, str, Callable[[], Any]], Any]
 
-_BINARY_FUNCS = {
-    "add": lambda a, b: a + b,
-    "sub": lambda a, b: a - b,
-    "mul": lambda a, b: a * b,
-    "eq": lambda a, b: int(a == b),
-    "ne": lambda a, b: int(a != b),
-    "lt": lambda a, b: int(a < b),
-    "le": lambda a, b: int(a <= b),
-    "gt": lambda a, b: int(a > b),
-    "ge": lambda a, b: int(a >= b),
-    "and": lambda a, b: int(bool(a) and bool(b)),
-    "or": lambda a, b: int(bool(a) or bool(b)),
-    "xor": lambda a, b: int(bool(a) != bool(b)),
-    "min": min,
-    "max": max,
+# Backwards-compatible alias (symbolic execution resolves binary opcodes
+# through the interpreter module).
+_BINARY_FUNCS = BINARY_FUNCS
+
+_BLOCKED = object()
+
+
+class _UndefinedRegister(Exception):
+    """Internal: a register was read before being written (host error)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+def _name(arg) -> str:
+    """Normalise a channel/identifier operand (bare str or Const(str))."""
+    if isinstance(arg, Const):
+        return str(arg.value)
+    return str(arg)
+
+
+def _getter(operand):
+    """Compile one source operand into a ``frame -> value`` accessor."""
+    if isinstance(operand, Const):
+        value = operand.value
+
+        def get_const(frame, _value=value):
+            return _value
+        return get_const
+    if isinstance(operand, Reg):
+        name = operand.name
+
+        def get_reg(frame, _name=name):
+            try:
+                return frame.registers[_name]
+            except KeyError:
+                raise _UndefinedRegister(_name) from None
+        return get_reg
+    raise MachineError(f"bad operand {operand!r}")
+
+
+# -- instruction compilers ---------------------------------------------------
+#
+# Each compiler runs once per instruction at decode time and returns a
+# handler ``(machine, thread, frame, record) -> bool``; False means the
+# thread blocked or failed and no step was executed.  Handlers advance
+# ``frame.pc`` themselves so control flow needs no post-dispatch fixup.
+
+def _compile_binary(fn: Function, instr: Instr, program: Program):
+    op = instr.op
+    dst = instr.args[0].name
+    get_a = _getter(instr.args[1])
+    get_b = _getter(instr.args[2])
+    if op == "div" or op == "mod":
+        modulo = op == "mod"
+
+        def run_divmod(machine, thread, frame, record):
+            a = get_a(frame)
+            b = get_b(frame)
+            if b == 0:
+                machine._guest_failure(thread, FailureKind.DIV_BY_ZERO,
+                                       f"{op} by zero")
+                return False
+            frame.registers[dst] = (a % b) if modulo else (a // b)
+            frame.pc += 1
+            return True
+        return run_divmod
+    func = BINARY_FUNCS[op]
+
+    def run_binary(machine, thread, frame, record):
+        frame.registers[dst] = func(get_a(frame), get_b(frame))
+        frame.pc += 1
+        return True
+    return run_binary
+
+
+def _compile_mov(fn, instr, program):
+    dst = instr.args[0].name
+    source = instr.args[1]
+    if isinstance(source, Const):
+        value = source.value
+
+        def run_const(machine, thread, frame, record):
+            frame.registers[dst] = value
+            frame.pc += 1
+            return True
+        return run_const
+    get = _getter(source)
+
+    def run_mov(machine, thread, frame, record):
+        frame.registers[dst] = get(frame)
+        frame.pc += 1
+        return True
+    return run_mov
+
+
+def _compile_not(fn, instr, program):
+    dst = instr.args[0].name
+    get = _getter(instr.args[1])
+
+    def run_not(machine, thread, frame, record):
+        frame.registers[dst] = int(not bool(get(frame)))
+        frame.pc += 1
+        return True
+    return run_not
+
+
+def _compile_neg(fn, instr, program):
+    dst = instr.args[0].name
+    get = _getter(instr.args[1])
+
+    def run_neg(machine, thread, frame, record):
+        frame.registers[dst] = -get(frame)
+        frame.pc += 1
+        return True
+    return run_neg
+
+
+def _compile_jmp(fn, instr, program):
+    target = fn.target(instr.args[0])
+
+    def run_jmp(machine, thread, frame, record):
+        frame.pc = target
+        return True
+    return run_jmp
+
+
+def _compile_jz(fn, instr, program):
+    get = _getter(instr.args[0])
+    target = fn.target(instr.args[1])
+
+    def run_jz(machine, thread, frame, record):
+        take = get(frame) == 0
+        record.branch_taken = take
+        if take:
+            frame.pc = target
+        else:
+            frame.pc += 1
+        return True
+    return run_jz
+
+
+def _compile_jnz(fn, instr, program):
+    get = _getter(instr.args[0])
+    target = fn.target(instr.args[1])
+
+    def run_jnz(machine, thread, frame, record):
+        take = get(frame) != 0
+        record.branch_taken = take
+        if take:
+            frame.pc = target
+        else:
+            frame.pc += 1
+        return True
+    return run_jnz
+
+
+def _compile_load(fn, instr, program):
+    dst = instr.args[0].name
+    name = instr.args[1]
+    loc = global_loc(name)
+
+    def run_load(machine, thread, frame, record):
+        memory = machine.memory
+        if machine.load_interceptor is None:
+            value = memory.read_global(name)
+        else:
+            value = machine._read_shared(
+                thread, loc, lambda: memory.read_global(name))
+        record.reads = [(loc, value)]
+        frame.registers[dst] = value
+        frame.pc += 1
+        return True
+    return run_load
+
+
+def _compile_store(fn, instr, program):
+    name = instr.args[0]
+    loc = global_loc(name)
+    get = _getter(instr.args[1])
+
+    def run_store(machine, thread, frame, record):
+        value = get(frame)
+        machine.memory.write_global(name, value)
+        record.writes = [(loc, value)]
+        frame.pc += 1
+        return True
+    return run_store
+
+
+def _compile_aload(fn, instr, program):
+    dst = instr.args[0].name
+    name = instr.args[1]
+    get_index = _getter(instr.args[2])
+
+    def run_aload(machine, thread, frame, record):
+        index = get_index(frame)
+        loc = array_loc(name, index)
+        memory = machine.memory
+        if machine.load_interceptor is None:
+            value = memory.read_array(name, index)
+        else:
+            value = machine._read_shared(
+                thread, loc, lambda: memory.read_array(name, index))
+        record.reads = [(loc, value)]
+        frame.registers[dst] = value
+        frame.pc += 1
+        return True
+    return run_aload
+
+
+def _compile_astore(fn, instr, program):
+    name = instr.args[0]
+    get_index = _getter(instr.args[1])
+    get_value = _getter(instr.args[2])
+
+    def run_astore(machine, thread, frame, record):
+        index = get_index(frame)
+        value = get_value(frame)
+        machine.memory.write_array(name, index, value)
+        record.writes = [(array_loc(name, index), value)]
+        frame.pc += 1
+        return True
+    return run_astore
+
+
+def _compile_alen(fn, instr, program):
+    dst = instr.args[0].name
+    name = instr.args[1]
+
+    def run_alen(machine, thread, frame, record):
+        frame.registers[dst] = machine.memory.array_length(name)
+        frame.pc += 1
+        return True
+    return run_alen
+
+
+def _compile_lock(fn, instr, program):
+    mutex = instr.args[0]
+
+    def run_lock(machine, thread, frame, record):
+        if machine.lock_owners[mutex] is None:
+            machine.lock_owners[mutex] = thread.tid
+            record.sync = ("lock", mutex)
+            frame.pc += 1
+            return True
+        machine._block_thread(thread, ThreadStatus.BLOCKED_LOCK, mutex)
+        return False
+    return run_lock
+
+
+def _compile_unlock(fn, instr, program):
+    mutex = instr.args[0]
+
+    def run_unlock(machine, thread, frame, record):
+        if machine.lock_owners.get(mutex) != thread.tid:
+            machine._guest_failure(
+                thread, FailureKind.EXPLICIT,
+                f"unlock of mutex {mutex!r} not held by thread")
+            return False
+        machine.lock_owners[mutex] = None
+        record.sync = ("unlock", mutex)
+        for other in machine.threads.values():
+            if (other.status == ThreadStatus.BLOCKED_LOCK
+                    and other.blocked_on == mutex):
+                machine._unblock_thread(other)
+        frame.pc += 1
+        return True
+    return run_unlock
+
+
+def _compile_spawn(fn, instr, program):
+    dst = instr.args[0].name
+    fname = instr.args[1]
+    getters = [_getter(a) for a in instr.args[2:]]
+
+    def run_spawn(machine, thread, frame, record):
+        call_args = [get(frame) for get in getters]
+        new_tid = machine._spawn_thread(fname, call_args)
+        frame.registers[dst] = new_tid
+        record.sync = ("spawn", new_tid)
+        frame.pc += 1
+        return True
+    return run_spawn
+
+
+def _compile_join(fn, instr, program):
+    get = _getter(instr.args[0])
+
+    def run_join(machine, thread, frame, record):
+        target = get(frame)
+        other = machine.threads.get(target)
+        if other is None:
+            machine._guest_failure(thread, FailureKind.EXPLICIT,
+                                   f"join of unknown thread {target}")
+            return False
+        if other.is_live:
+            machine._block_thread(thread, ThreadStatus.BLOCKED_JOIN, target)
+            return False
+        record.sync = ("join", target)
+        frame.pc += 1
+        return True
+    return run_join
+
+
+def _compile_input(fn, instr, program):
+    dst = instr.args[0].name
+    channel = _name(instr.args[1])
+
+    def run_input(machine, thread, frame, record):
+        ran_actual = [False]
+
+        def consume():
+            ran_actual[0] = True
+            return machine._consume_input(thread, channel)
+
+        if machine.io_interceptor is not None:
+            value = machine.io_interceptor(thread.tid, "input", channel,
+                                           consume)
+            if value is INTERCEPT_MISS:
+                value = consume()
+            elif not ran_actual[0]:
+                # The interceptor supplied the value: the replayed run
+                # still *consumed* an input, so account for it - I/O
+                # specifications relate outputs to inputs.
+                machine.env.inputs_consumed.setdefault(
+                    channel, []).append(value)
+        else:
+            value = consume()
+        if value is _BLOCKED:
+            return False
+        record.io = ("input", channel, value)
+        frame.registers[dst] = value
+        frame.pc += 1
+        return True
+    return run_input
+
+
+def _compile_output(fn, instr, program):
+    channel = _name(instr.args[0])
+    get = _getter(instr.args[1])
+
+    def run_output(machine, thread, frame, record):
+        value = get(frame)
+        machine.env.write_output(channel, value)
+        record.io = ("output", channel, value)
+        frame.pc += 1
+        return True
+    return run_output
+
+
+def _compile_syscall(fn, instr, program):
+    dst = instr.args[0].name
+    name = _name(instr.args[1])
+    getters = [_getter(a) for a in instr.args[2:]]
+
+    def run_syscall(machine, thread, frame, record):
+        call_args = [get(frame) for get in getters]
+        result = machine._intercepted_io(
+            thread.tid, "syscall", name,
+            lambda: machine.env.syscall(name, call_args))
+        record.io = ("syscall", name, (tuple(call_args), result))
+        frame.registers[dst] = result
+        frame.pc += 1
+        return True
+    return run_syscall
+
+
+def _compile_assert(fn, instr, program):
+    get_cond = _getter(instr.args[0])
+    get_message = _getter(instr.args[1])
+
+    def run_assert(machine, thread, frame, record):
+        if not get_cond(frame):
+            machine._guest_failure(thread, FailureKind.ASSERTION,
+                                   str(get_message(frame)))
+            return False
+        frame.pc += 1
+        return True
+    return run_assert
+
+
+def _compile_fail(fn, instr, program):
+    get = _getter(instr.args[0])
+
+    def run_fail(machine, thread, frame, record):
+        machine._guest_failure(thread, FailureKind.EXPLICIT,
+                               str(get(frame)))
+        return False
+    return run_fail
+
+
+def _compile_call(fn, instr, program):
+    dst = instr.args[0].name
+    fname = instr.args[1]
+    getters = [_getter(a) for a in instr.args[2:]]
+    function = program.function(fname)
+    params = function.params
+    expected = len(params)
+    if len(getters) != expected:
+        # Arity is a decode-time constant; a mismatched call raises only
+        # when executed (same laziness as the pre-decoded interpreter),
+        # and well-formed calls pay no per-call check.
+        supplied = len(getters)
+
+        def run_bad_call(machine, thread, frame, record):
+            raise MachineError(
+                f"call {fname}: expected {expected} args, got {supplied}")
+        return run_bad_call
+
+    def run_call(machine, thread, frame, record):
+        call_args = [get(frame) for get in getters]
+        frame.pc += 1  # return address
+        thread.frames.append(
+            Frame(function, 0, dict(zip(params, call_args)),
+                  return_register=dst))
+        return True
+    return run_call
+
+
+def _compile_ret(fn, instr, program):
+    if instr.args:
+        get = _getter(instr.args[0])
+
+        def run_ret_value(machine, thread, frame, record):
+            machine._do_return(thread, get(frame))
+            return True
+        return run_ret_value
+
+    def run_ret(machine, thread, frame, record):
+        machine._do_return(thread, 0)
+        return True
+    return run_ret
+
+
+def _compile_halt(fn, instr, program):
+    def run_halt(machine, thread, frame, record):
+        machine.halted = True
+        frame.pc += 1
+        return True
+    return run_halt
+
+
+def _compile_nop(fn, instr, program):
+    def run_nop(machine, thread, frame, record):
+        frame.pc += 1
+        return True
+    return run_nop
+
+
+_COMPILERS: Dict[str, Callable] = {
+    **{op: _compile_binary for op in BINARY_OPS},
+    "const": _compile_mov,
+    "mov": _compile_mov,
+    "not": _compile_not,
+    "neg": _compile_neg,
+    "jmp": _compile_jmp,
+    "jz": _compile_jz,
+    "jnz": _compile_jnz,
+    "load": _compile_load,
+    "store": _compile_store,
+    "aload": _compile_aload,
+    "astore": _compile_astore,
+    "alen": _compile_alen,
+    "lock": _compile_lock,
+    "unlock": _compile_unlock,
+    "spawn": _compile_spawn,
+    "join": _compile_join,
+    "yield": _compile_nop,
+    "input": _compile_input,
+    "output": _compile_output,
+    "syscall": _compile_syscall,
+    "assert": _compile_assert,
+    "fail": _compile_fail,
+    "call": _compile_call,
+    "ret": _compile_ret,
+    "halt": _compile_halt,
+    "nop": _compile_nop,
 }
+
+
+def decode_function(fn: Function, program: Program) -> List[Tuple[str, Callable]]:
+    """Compile ``fn``'s body to ``(op, handler)`` pairs and cache it.
+
+    The cache lives on the function, keyed by program identity, so every
+    machine running the same program shares one decode.
+    """
+    decoded = fn.decoded_for(program)
+    if decoded is not None:
+        return decoded
+    decoded = []
+    for instr in fn.body:
+        compiler = _COMPILERS.get(instr.op)
+        if compiler is None:  # pragma: no cover - validation rejects these
+            raise MachineError(f"unimplemented opcode {instr.op!r}")
+        decoded.append((instr.op, compiler(fn, instr, program)))
+    fn.decode_cache = (program, decoded)
+    return decoded
 
 
 class Machine:
@@ -89,6 +587,18 @@ class Machine:
         self.load_interceptor: Optional[LoadInterceptor] = None
         self.io_interceptor: Optional[IoInterceptor] = None
 
+        # Incrementally maintained scheduling state: the sorted runnable
+        # tid list and the live-thread count replace per-step scans.
+        self._runnable: List[int] = []
+        self._live_count = 0
+
+        # Per-function cost arrays for this machine's cost model, so the
+        # per-step path indexes a list instead of hashing opcode strings.
+        # Shared across machines via the program's cost-array cache.
+        self._fn_costs: Dict[str, List[int]] = program.cost_arrays(
+            self.cost_model)
+        self._ret_cost = self.cost_model.instruction_cost("ret")
+
         self._next_tid = 0
         self._spawn_thread(program.entry, list(entry_args))
 
@@ -100,8 +610,12 @@ class Machine:
         self._observers.append(observer)
 
     def runnable_tids(self) -> List[int]:
-        """Tids of runnable threads, ascending (stable for schedulers)."""
-        return sorted(t.tid for t in self.threads.values() if t.is_runnable)
+        """Tids of runnable threads, ascending (stable for schedulers).
+
+        Maintained incrementally on spawn/block/unblock/finish; callers
+        must treat the returned list as read-only.
+        """
+        return self._runnable
 
     def live_tids(self) -> List[int]:
         return sorted(t.tid for t in self.threads.values() if t.is_live)
@@ -119,12 +633,12 @@ class Machine:
     def run(self) -> "Machine":
         """Run to completion, failure, deadlock, or the step limit."""
         while not self._finished():
-            runnable = self.runnable_tids()
-            if not runnable:
+            if not self._runnable:
                 self._report_deadlock()
                 break
             tid = self.scheduler.pick(self)
-            if tid not in self.threads or not self.threads[tid].is_runnable:
+            thread = self.threads.get(tid)
+            if thread is None or not thread.is_runnable:
                 raise MachineError(
                     f"scheduler picked non-runnable thread {tid}")
             self._step(tid)
@@ -151,7 +665,7 @@ class Machine:
         if self.steps >= self.max_steps:
             self.hit_step_limit = True
             return True
-        return not any(t.is_live for t in self.threads.values())
+        return self._live_count == 0
 
     def _finalize(self) -> None:
         if self.failure is None and self.io_spec is not None:
@@ -176,25 +690,48 @@ class Machine:
             kind=FailureKind.DEADLOCK, location=site, detail=detail,
             tid=victim.tid, step_index=self.steps)
 
+    # -- thread scheduling state -------------------------------------------
+
     def _spawn_thread(self, fname: str, args: List[Any]) -> int:
         tid = self._next_tid
         self._next_tid += 1
         function = self.program.function(fname)
         self.threads[tid] = ThreadState(tid, function, args)
+        # Tids are assigned in ascending order, so append keeps the
+        # runnable list sorted.
+        self._runnable.append(tid)
+        self._live_count += 1
         return tid
+
+    def _block_thread(self, thread: ThreadState, status: ThreadStatus,
+                      on: Any) -> None:
+        # Tolerate re-blocking an already blocked thread (an io
+        # interceptor may run its consume fallback and then still return
+        # INTERCEPT_MISS, blocking the same thread twice).
+        if thread.is_runnable:
+            self._runnable.remove(thread.tid)
+        thread.block(status, on)
+
+    def _unblock_thread(self, thread: ThreadState) -> None:
+        thread.unblock()
+        insort(self._runnable, thread.tid)
 
     def _finish_thread(self, thread: ThreadState, value: Any) -> None:
         thread.return_value = value
         thread.status = ThreadStatus.DONE
+        self._runnable.remove(thread.tid)
+        self._live_count -= 1
         for other in self.threads.values():
             if (other.status == ThreadStatus.BLOCKED_JOIN
                     and other.blocked_on == thread.tid):
-                other.unblock()
+                self._unblock_thread(other)
 
     def _guest_failure(self, thread: ThreadState, kind: FailureKind,
                        detail: str) -> None:
         site = f"{thread.frame.function.name}@{thread.frame.pc}"
         thread.status = ThreadStatus.FAILED
+        self._runnable.remove(thread.tid)
+        self._live_count -= 1
         self.failure = FailureReport(kind=kind, location=site, detail=detail,
                                      tid=thread.tid, step_index=self.steps)
 
@@ -202,25 +739,40 @@ class Machine:
 
     def _step(self, tid: int) -> Optional[StepRecord]:
         thread = self.threads[tid]
-        frame = thread.frame
-        if frame.pc >= len(frame.function.body):
+        frame = thread.frames[-1]
+        fn = frame.function
+        cache = fn.decode_cache
+        if cache is None or cache[0] is not self.program:
+            decoded = decode_function(fn, self.program)
+        else:
+            decoded = cache[1]
+        pc = frame.pc
+        if pc >= len(decoded):
             # Falling off the end of a function is an implicit `ret 0`.
+            # It is a real step - recorded, charged, and announced to
+            # observers - exactly like an explicit `ret`, so recorders
+            # see consistent thread-completion behaviour on both paths.
+            record = StepRecord(self.steps, tid, fn.name, pc, "ret",
+                                self._ret_cost)
             self._do_return(thread, 0)
-            return None
-        instr = frame.function.body[frame.pc]
-        record = StepRecord(
-            index=self.steps, tid=tid, function=frame.function.name,
-            pc=frame.pc, op=instr.op,
-            cost=self.cost_model.instruction_cost(instr.op))
-        try:
-            executed = self._execute(thread, instr, record)
-        except OutOfBoundsAccess as oob:
-            self._guest_failure(thread, FailureKind.OUT_OF_BOUNDS, str(oob))
-            return None
-        if not executed:
-            return None  # thread blocked; no step happened
+        else:
+            op, handler = decoded[pc]
+            record = StepRecord(self.steps, tid, fn.name, pc, op,
+                                self._fn_costs[fn.name][pc])
+            try:
+                executed = handler(self, thread, frame, record)
+            except OutOfBoundsAccess as oob:
+                self._guest_failure(thread, FailureKind.OUT_OF_BOUNDS,
+                                    str(oob))
+                return None
+            except _UndefinedRegister as undef:
+                raise MachineError(
+                    f"thread {tid}: read of undefined register "
+                    f"%{undef.name} in {fn.name}") from None
+            if not executed:
+                return None  # thread blocked or failed; no step happened
         self.steps += 1
-        self.meter.charge_native(record.cost)
+        self.meter.native_cycles += record.cost
         self.trace.append(record)
         thread.steps_executed += 1
         self.scheduler.notify(record)
@@ -228,187 +780,9 @@ class Machine:
             observer(self, record)
         return record
 
-    def _value(self, thread: ThreadState, operand) -> Any:
-        if isinstance(operand, Const):
-            return operand.value
-        if isinstance(operand, Reg):
-            registers = thread.frame.registers
-            if operand.name not in registers:
-                raise MachineError(
-                    f"thread {thread.tid}: read of undefined register "
-                    f"%{operand.name} in {thread.frame.function.name}")
-            return registers[operand.name]
-        raise MachineError(f"bad operand {operand!r}")
-
-    def _set(self, thread: ThreadState, reg: Reg, value: Any) -> None:
-        thread.frame.registers[reg.name] = value
-
-    def _execute(self, thread: ThreadState, instr: Instr,
-                 record: StepRecord) -> bool:
-        """Execute one instruction; False when the thread blocked instead."""
-        op, args = instr.op, instr.args
-        frame = thread.frame
-        advance = True
-
-        if op in BINARY_OPS:
-            a = self._value(thread, args[1])
-            b = self._value(thread, args[2])
-            if op in ("div", "mod"):
-                if b == 0:
-                    self._guest_failure(thread, FailureKind.DIV_BY_ZERO,
-                                        f"{op} by zero")
-                    return False
-                result = (a // b) if op == "div" else (a % b)
-            else:
-                result = _BINARY_FUNCS[op](a, b)
-            self._set(thread, args[0], result)
-        elif op == "const" or op == "mov":
-            self._set(thread, args[0], self._value(thread, args[1]))
-        elif op == "not":
-            self._set(thread, args[0],
-                      int(not bool(self._value(thread, args[1]))))
-        elif op == "neg":
-            self._set(thread, args[0], -self._value(thread, args[1]))
-        elif op == "jmp":
-            frame.pc = frame.function.target(args[0])
-            advance = False
-        elif op in ("jz", "jnz"):
-            cond = self._value(thread, args[0])
-            take = (cond == 0) if op == "jz" else (cond != 0)
-            record.branch_taken = take
-            if take:
-                frame.pc = frame.function.target(args[1])
-                advance = False
-        elif op == "load":
-            value = self._read_shared(thread, global_loc(args[1]),
-                                      lambda: self.memory.read_global(args[1]))
-            record.reads.append((global_loc(args[1]), value))
-            self._set(thread, args[0], value)
-        elif op == "store":
-            value = self._value(thread, args[1])
-            self.memory.write_global(args[0], value)
-            record.writes.append((global_loc(args[0]), value))
-        elif op == "aload":
-            index = self._value(thread, args[2])
-            loc = array_loc(args[1], index)
-            value = self._read_shared(
-                thread, loc, lambda: self.memory.read_array(args[1], index))
-            record.reads.append((loc, value))
-            self._set(thread, args[0], value)
-        elif op == "astore":
-            index = self._value(thread, args[1])
-            value = self._value(thread, args[2])
-            self.memory.write_array(args[0], index, value)
-            record.writes.append((array_loc(args[0], index), value))
-        elif op == "alen":
-            self._set(thread, args[0], self.memory.array_length(args[1]))
-        elif op == "lock":
-            owner = self.lock_owners[args[0]]
-            if owner is None:
-                self.lock_owners[args[0]] = thread.tid
-                record.sync = ("lock", args[0])
-            else:
-                thread.block(ThreadStatus.BLOCKED_LOCK, args[0])
-                return False
-        elif op == "unlock":
-            if self.lock_owners.get(args[0]) != thread.tid:
-                self._guest_failure(
-                    thread, FailureKind.EXPLICIT,
-                    f"unlock of mutex {args[0]!r} not held by thread")
-                return False
-            self.lock_owners[args[0]] = None
-            record.sync = ("unlock", args[0])
-            for other in self.threads.values():
-                if (other.status == ThreadStatus.BLOCKED_LOCK
-                        and other.blocked_on == args[0]):
-                    other.unblock()
-        elif op == "spawn":
-            call_args = [self._value(thread, a) for a in args[2:]]
-            new_tid = self._spawn_thread(args[1], call_args)
-            self._set(thread, args[0], new_tid)
-            record.sync = ("spawn", new_tid)
-        elif op == "join":
-            target = self._value(thread, args[0])
-            if target not in self.threads:
-                self._guest_failure(thread, FailureKind.EXPLICIT,
-                                    f"join of unknown thread {target}")
-                return False
-            if self.threads[target].is_live:
-                thread.block(ThreadStatus.BLOCKED_JOIN, target)
-                return False
-            record.sync = ("join", target)
-        elif op == "yield":
-            pass
-        elif op == "input":
-            channel = _name(args[1])
-            ran_actual = [False]
-
-            def consume():
-                ran_actual[0] = True
-                return self._consume_input(thread, channel)
-
-            if self.io_interceptor is not None:
-                value = self.io_interceptor(thread.tid, "input", channel,
-                                            consume)
-                if value is INTERCEPT_MISS:
-                    value = consume()
-                elif not ran_actual[0]:
-                    # The interceptor supplied the value: the replayed
-                    # run still *consumed* an input, so account for it -
-                    # I/O specifications relate outputs to inputs.
-                    self.env.inputs_consumed.setdefault(
-                        channel, []).append(value)
-            else:
-                value = consume()
-            if value is _BLOCKED:
-                return False
-            record.io = ("input", channel, value)
-            self._set(thread, args[0], value)
-        elif op == "output":
-            channel = _name(args[0])
-            value = self._value(thread, args[1])
-            self.env.write_output(channel, value)
-            record.io = ("output", channel, value)
-        elif op == "syscall":
-            name = _name(args[1])
-            call_args = [self._value(thread, a) for a in args[2:]]
-            result = self._intercepted_io(
-                thread.tid, "syscall", name,
-                lambda: self.env.syscall(name, call_args))
-            record.io = ("syscall", name, (tuple(call_args), result))
-            self._set(thread, args[0], result)
-        elif op == "assert":
-            cond = self._value(thread, args[0])
-            if not cond:
-                message = str(self._value(thread, args[1]))
-                self._guest_failure(thread, FailureKind.ASSERTION, message)
-                return False
-        elif op == "fail":
-            message = str(self._value(thread, args[0]))
-            self._guest_failure(thread, FailureKind.EXPLICIT, message)
-            return False
-        elif op == "call":
-            self._do_call(thread, args[0], args[1],
-                          [self._value(thread, a) for a in args[2:]])
-            advance = False
-        elif op == "ret":
-            value = self._value(thread, args[0]) if args else 0
-            self._do_return(thread, value)
-            advance = False
-        elif op == "halt":
-            self.halted = True
-        elif op == "nop":
-            pass
-        else:  # pragma: no cover - validation rejects unknown opcodes
-            raise MachineError(f"unimplemented opcode {op!r}")
-
-        if advance:
-            frame.pc += 1
-        return True
-
     def _consume_input(self, thread: ThreadState, channel: str):
         if not self.env.has_input(channel):
-            thread.block(ThreadStatus.BLOCKED_INPUT, channel)
+            self._block_thread(thread, ThreadStatus.BLOCKED_INPUT, channel)
             return _BLOCKED
         return self.env.read_input(channel)
 
@@ -427,38 +801,14 @@ class Machine:
                 return value
         return actual()
 
-    def _do_call(self, thread: ThreadState, dst: Reg, fname: str,
-                 call_args: List[Any]) -> None:
-        from repro.vm.thread import Frame
-        function = self.program.function(fname)
-        if len(call_args) != len(function.params):
-            raise MachineError(
-                f"call {fname}: expected {len(function.params)} args, "
-                f"got {len(call_args)}")
-        thread.frame.pc += 1  # return address
-        new_frame = Frame(function, 0,
-                          dict(zip(function.params, call_args)),
-                          return_register=dst.name)
-        thread.frames.append(new_frame)
-
     def _do_return(self, thread: ThreadState, value: Any) -> None:
         finished = thread.frames.pop()
         if thread.frames:
             dst = finished.return_register
             if dst is not None:
-                thread.frame.registers[dst] = value
+                thread.frames[-1].registers[dst] = value
         else:
             self._finish_thread(thread, value)
-
-
-_BLOCKED = object()
-
-
-def _name(arg) -> str:
-    """Normalise a channel/identifier operand (bare str or Const(str))."""
-    if isinstance(arg, Const):
-        return str(arg.value)
-    return str(arg)
 
 
 def run_program(program: Program,

@@ -53,12 +53,14 @@ class RoundRobinScheduler(Scheduler):
         if (self._current in runnable) and self._remaining > 0:
             self._remaining -= 1
             return self._current
-        # Rotate: next runnable tid after the current one.
+        # Rotate: next runnable tid after the current one.  ``runnable``
+        # is sorted ascending (the machine maintains it incrementally),
+        # so the first tid past the current one is the rotation target.
         if self._current is None or self._current not in runnable:
             chosen = runnable[0]
         else:
-            later = [t for t in runnable if t > self._current]
-            chosen = later[0] if later else runnable[0]
+            current = self._current
+            chosen = next((t for t in runnable if t > current), runnable[0])
         self._current = chosen
         self._remaining = self.quantum - 1
         return chosen

@@ -9,58 +9,172 @@ metadata.
 Recorders do not get to peek at anything a real recorder could not see;
 each one subscribes to the step stream and logs only the events its
 determinism model pays for.
+
+Performance notes
+-----------------
+``StepRecord`` is slotted and allocates *no* per-step ``reads``/``writes``
+lists: both default to a shared empty tuple and the interpreter assigns a
+real list only on the (rare) steps that actually touch shared memory.
+
+``Trace`` maintains lazily built indexes - per-location write positions,
+per-site positions, and cached io/sync/shared-access event lists - so the
+analysis passes (race detection, root-cause diagnosis, replay search) ask
+O(log n)/O(1) questions instead of rescanning the full step list.  The
+indexes are built on first query and extended incrementally from a
+watermark, so the hot ``append`` path pays nothing for them.  They assume
+steps are only ever *appended*; do not mutate ``trace.steps`` in place.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.vm.failures import FailureReport
 from repro.vm.memory import Location
 
+# Shared default for steps that touch no shared memory: truthiness,
+# iteration, and indexing behave like an empty list without allocating.
+_NO_EFFECTS: Tuple = ()
 
-@dataclass
+
 class StepRecord:
     """Observable effects of one executed instruction."""
 
-    index: int                    # global step number
-    tid: int                      # executing thread
-    function: str                 # enclosing function name
-    pc: int                       # program counter within the function
-    op: str                       # opcode executed
-    cost: int                     # base cycles charged
-    reads: List[Tuple[Location, int]] = field(default_factory=list)
-    writes: List[Tuple[Location, int]] = field(default_factory=list)
-    # sync: ("lock"|"unlock"|"spawn"|"join", object)  e.g. ("lock", "m")
-    sync: Optional[Tuple[str, Any]] = None
-    # io: ("input"|"output"|"syscall", channel_or_name, value_or_result)
-    io: Optional[Tuple[str, str, Any]] = None
-    # branch outcome: None for non-branches, else True (taken) / False
-    branch_taken: Optional[bool] = None
+    __slots__ = ("index", "tid", "function", "pc", "op", "cost",
+                 "reads", "writes", "sync", "io", "branch_taken")
+
+    def __init__(self,
+                 index: int,
+                 tid: int,
+                 function: str,
+                 pc: int,
+                 op: str,
+                 cost: int,
+                 reads=None,
+                 writes=None,
+                 sync: Optional[Tuple[str, Any]] = None,
+                 io: Optional[Tuple[str, str, Any]] = None,
+                 branch_taken: Optional[bool] = None):
+        self.index = index            # global step number
+        self.tid = tid                # executing thread
+        self.function = function     # enclosing function name
+        self.pc = pc                  # program counter within the function
+        self.op = op                  # opcode executed
+        self.cost = cost              # base cycles charged
+        # (location, value) pairs; empty tuple when the step touched nothing.
+        self.reads = _NO_EFFECTS if reads is None else reads
+        self.writes = _NO_EFFECTS if writes is None else writes
+        # sync: ("lock"|"unlock"|"spawn"|"join", object)  e.g. ("lock", "m")
+        self.sync = sync
+        # io: ("input"|"output"|"syscall", channel_or_name, value_or_result)
+        self.io = io
+        # branch outcome: None for non-branches, else True (taken) / False
+        self.branch_taken = branch_taken
 
     @property
     def site(self) -> str:
         """The static code site ``function@pc`` of this step."""
         return f"{self.function}@{self.pc}"
 
+    def _key(self) -> Tuple:
+        return (self.index, self.tid, self.function, self.pc, self.op,
+                self.cost, tuple(self.reads), tuple(self.writes),
+                self.sync, self.io, self.branch_taken)
 
-@dataclass
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StepRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:
+        extras = []
+        if self.reads:
+            extras.append(f"reads={list(self.reads)}")
+        if self.writes:
+            extras.append(f"writes={list(self.writes)}")
+        if self.sync is not None:
+            extras.append(f"sync={self.sync}")
+        if self.io is not None:
+            extras.append(f"io={self.io}")
+        if self.branch_taken is not None:
+            extras.append(f"branch_taken={self.branch_taken}")
+        tail = (", " + ", ".join(extras)) if extras else ""
+        return (f"StepRecord({self.index}, t{self.tid}, "
+                f"{self.function}@{self.pc} {self.op}{tail})")
+
+
 class Trace:
     """A complete execution trace plus run metadata."""
 
-    steps: List[StepRecord] = field(default_factory=list)
-    schedule: List[int] = field(default_factory=list)   # tid per step
-    outputs: Dict[str, List[Any]] = field(default_factory=dict)
-    inputs_consumed: Dict[str, List[Any]] = field(default_factory=dict)
-    failure: Optional[FailureReport] = None
-    native_cycles: int = 0
-    total_steps: int = 0
+    def __init__(self,
+                 steps: Optional[List[StepRecord]] = None,
+                 schedule: Optional[List[int]] = None,
+                 outputs: Optional[Dict[str, List[Any]]] = None,
+                 inputs_consumed: Optional[Dict[str, List[Any]]] = None,
+                 failure: Optional[FailureReport] = None,
+                 native_cycles: int = 0,
+                 total_steps: int = 0):
+        self.steps: List[StepRecord] = steps if steps is not None else []
+        self.schedule: List[int] = (schedule if schedule is not None
+                                    else [s.tid for s in self.steps])
+        self.outputs: Dict[str, List[Any]] = outputs or {}
+        self.inputs_consumed: Dict[str, List[Any]] = inputs_consumed or {}
+        self.failure = failure
+        self.native_cycles = native_cycles
+        self.total_steps = total_steps or len(self.steps)
+        # Lazily built indexes; _indexed_upto is the watermark position.
+        self._indexed_upto = 0
+        self._write_index: Dict[Location, List[int]] = {}
+        self._site_index: Dict[str, List[int]] = {}
+        self._sites: List[str] = []
+        self._io_steps: List[StepRecord] = []
+        self._sync_steps: List[StepRecord] = []
+        self._shared_steps: List[StepRecord] = []
+        self._write_steps: List[StepRecord] = []
+        self._memory_or_sync_steps: List[StepRecord] = []
+        self._branch_paths: Dict[int, List[bool]] = {}
 
     def append(self, step: StepRecord) -> None:
         self.steps.append(step)
         self.schedule.append(step.tid)
         self.total_steps += 1
+
+    # -- lazy index maintenance -----------------------------------------
+
+    def _extend_indexes(self) -> None:
+        """Bring every index up to date with the current step list."""
+        steps = self.steps
+        upto = self._indexed_upto
+        if upto >= len(steps):
+            return
+        write_index = self._write_index
+        site_index = self._site_index
+        sites = self._sites
+        for pos in range(upto, len(steps)):
+            step = steps[pos]
+            site = f"{step.function}@{step.pc}"
+            sites.append(site)
+            site_index.setdefault(site, []).append(pos)
+            if step.writes:
+                self._write_steps.append(step)
+                for loc, __ in step.writes:
+                    write_index.setdefault(loc, []).append(pos)
+            if step.reads or step.writes:
+                self._shared_steps.append(step)
+            if step.sync is not None:
+                self._sync_steps.append(step)
+            if step.reads or step.writes or step.sync is not None:
+                self._memory_or_sync_steps.append(step)
+            if step.io is not None:
+                self._io_steps.append(step)
+            if step.branch_taken is not None:
+                self._branch_paths.setdefault(step.tid, []).append(
+                    step.branch_taken)
+        self._indexed_upto = len(steps)
+
+    # -- queries ---------------------------------------------------------
 
     def per_thread_steps(self) -> Dict[int, List[StepRecord]]:
         """Group steps by thread, preserving per-thread order."""
@@ -79,22 +193,83 @@ class Trace:
 
     def sites_executed(self) -> List[str]:
         """Static sites in execution order (used by slicing/diagnosis)."""
-        return [step.site for step in self.steps]
+        self._extend_indexes()
+        return list(self._sites)
+
+    def steps_at_site(self, site: str) -> List[StepRecord]:
+        """Every step executed at static site ``function@pc``, in order."""
+        self._extend_indexes()
+        return [self.steps[pos] for pos in self._site_index.get(site, ())]
 
     def io_events(self) -> List[StepRecord]:
-        return [s for s in self.steps if s.io is not None]
+        self._extend_indexes()
+        return list(self._io_steps)
 
     def sync_events(self) -> List[StepRecord]:
-        return [s for s in self.steps if s.sync is not None]
+        self._extend_indexes()
+        return list(self._sync_steps)
 
     def shared_accesses(self) -> List[StepRecord]:
-        return [s for s in self.steps if s.reads or s.writes]
+        self._extend_indexes()
+        return list(self._shared_steps)
+
+    def write_events(self) -> List[StepRecord]:
+        """Steps that wrote shared memory, in execution order."""
+        self._extend_indexes()
+        return list(self._write_steps)
+
+    def memory_or_sync_events(self) -> List[StepRecord]:
+        """Steps with shared-memory or synchronization effects, in order.
+
+        Race detectors only react to these; iterating this cached subset
+        instead of ``steps`` skips the (dominant) pure-register steps.
+        """
+        self._extend_indexes()
+        return list(self._memory_or_sync_steps)
+
+    def thread_branch_paths(self) -> Dict[int, List[bool]]:
+        """Per-thread branch outcome sequences (path-determinism checks)."""
+        self._extend_indexes()
+        return {tid: list(path) for tid, path in self._branch_paths.items()}
+
+    def fingerprint(self) -> str:
+        """Stable digest of the full observable behaviour of this run.
+
+        Covers every step's effects (reads, writes, sync, io, branch
+        outcomes, costs), the schedule, the failure report, outputs,
+        consumed inputs, and the metered native cycles.  Two runs with
+        the same fingerprint are observationally identical; the golden
+        determinism regression test pins these digests so performance
+        work on the interpreter cannot silently change semantics.
+        """
+        digest = hashlib.sha256()
+        for step in self.steps:
+            digest.update(repr(step._key()).encode("utf-8"))
+            digest.update(b"\n")
+        digest.update(repr(self.schedule).encode("utf-8"))
+        failure = self.failure
+        if failure is not None:
+            digest.update(repr((failure.kind.value, failure.location,
+                                failure.detail, failure.tid,
+                                failure.step_index)).encode("utf-8"))
+        digest.update(repr(sorted(self.outputs.items())).encode("utf-8"))
+        digest.update(repr(sorted(
+            self.inputs_consumed.items())).encode("utf-8"))
+        digest.update(str(self.native_cycles).encode("utf-8"))
+        return digest.hexdigest()
 
     def last_write_before(self, loc: Location,
                           step_index: int) -> Optional[StepRecord]:
-        """Most recent write to ``loc`` strictly before ``step_index``."""
-        for step in reversed(self.steps[:step_index]):
-            for written_loc, _ in step.writes:
-                if written_loc == loc:
-                    return step
-        return None
+        """Most recent write to ``loc`` strictly before ``step_index``.
+
+        O(log n) via the per-location write index (positions are ascending,
+        so a bisect finds the last write preceding ``step_index``).
+        """
+        self._extend_indexes()
+        positions = self._write_index.get(loc)
+        if not positions:
+            return None
+        cut = bisect_left(positions, step_index)
+        if cut == 0:
+            return None
+        return self.steps[positions[cut - 1]]

@@ -1,0 +1,84 @@
+"""Golden-trace determinism regression tests.
+
+Every determinism model in this reproduction builds on one invariant:
+execution is a pure function of (program, environment seed+inputs,
+scheduler decisions).  These tests pin the *complete* observable
+behaviour of each corpus application - every step's reads/writes/sync/io
+effects, the schedule, the failure report, outputs, and metered cycles -
+as a SHA-256 digest (:meth:`repro.vm.trace.Trace.fingerprint`).
+
+Interpreter performance work (decode-once dispatch, lazy step effects,
+trace indexes) must not move these digests.  If a change here is
+intentional - a new opcode, a semantic bug fix like the implicit-return
+step - regenerate the digests with::
+
+    PYTHONPATH=src python -c "
+    from repro.apps import ALL_APPS
+    for name in sorted(ALL_APPS):
+        m = ALL_APPS[name]().run(11)
+        print(name, m.trace.fingerprint())"
+
+and say why in the commit message.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.harness.bench import COUNTER_SRC
+from repro.vm import RandomScheduler, assemble, run_program
+
+SEED = 11
+
+# app name -> sha256 fingerprint of its production run under seed 11.
+GOLDEN_APP_DIGESTS = {
+    "adder": "a757cb559b6ed58c71c78e2bad9080c05119a9768d6a0952f166518f553b6df4",
+    "bank": "0fbcf78a00e7f2b8942181f25a362c812119041bd8f1f1508ff2ff5eee4ef73f",
+    "deadlock": "c62a8c0cb731627e9a4b7dc33e3713c3456f0f0202f681d404d8692f8ac5a5fe",
+    "large_request": (
+        "0989a1eb34948337d8d672b081994e7b8bb5239cc929f63bfa3e125a0d785662"),
+    "msg_server": (
+        "0f2752e6ac422a45cc8054ca2b57754efb40d82479a256333212ec5f52eac88b"),
+    "overflow": (
+        "f2abb9c6cdcf747babbc7f209b4dadc76f0c96cb26e5fc12a9a1c3de049bbcb3"),
+    "racy_counter": (
+        "b8cb8ebc3a906aa7f4e031ff0ddcd1ab1a2d9407686c04b4ba333cfaf3210cb7"),
+}
+
+# The benchmark workload (imported from the bench harness, so the digest
+# pins the exact execution being optimised) is golden too.
+GOLDEN_COUNTER_DIGEST = (
+    "6fa62483c435c4cd1515cf0c1b3548d55995a808778b00f2960f16f98f598326")
+
+
+def test_corpus_covers_all_expected_apps():
+    assert set(GOLDEN_APP_DIGESTS) == set(ALL_APPS), \
+        "new corpus app: add its golden digest"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_APP_DIGESTS))
+def test_app_golden_trace(name):
+    case = ALL_APPS[name]()
+    machine = case.run(SEED)
+    assert machine.trace.fingerprint() == GOLDEN_APP_DIGESTS[name], (
+        f"{name}: observable behaviour changed - step stream, schedule, "
+        f"failure, outputs, or metered cycles diverged from the golden run")
+
+
+def test_counter_workload_golden_trace():
+    machine = run_program(assemble(COUNTER_SRC),
+                          scheduler=RandomScheduler(seed=1))
+    assert machine.steps == 4809
+    assert machine.trace.fingerprint() == GOLDEN_COUNTER_DIGEST
+
+
+def test_fingerprint_is_schedule_sensitive():
+    """Different seeds must yield different fingerprints (sanity)."""
+    a = run_program(assemble(COUNTER_SRC), scheduler=RandomScheduler(seed=1))
+    b = run_program(assemble(COUNTER_SRC), scheduler=RandomScheduler(seed=2))
+    assert a.trace.fingerprint() != b.trace.fingerprint()
+
+
+def test_fingerprint_is_stable_across_reruns():
+    a = run_program(assemble(COUNTER_SRC), scheduler=RandomScheduler(seed=1))
+    b = run_program(assemble(COUNTER_SRC), scheduler=RandomScheduler(seed=1))
+    assert a.trace.fingerprint() == b.trace.fingerprint()

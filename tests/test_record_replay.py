@@ -124,6 +124,43 @@ def test_selective_replay_reproduces(case, failing_seed):
     assert result.reproduced_failure(log.failure)
 
 
+def test_selective_replay_gates_implicit_ret():
+    """The implicit-ret virtual site must be replay-ordered like any step.
+
+    Falling off a control-plane function's end records a step at the
+    virtual site ``fn@len(body)``; guided replay must gate it against the
+    recorded order (not wave it through), or replays rack up spurious
+    divergences relative to the same program with an explicit ret.
+    """
+    program = assemble("""
+    global g = 0
+    fn helper():
+        load %v, g
+        add %v, %v, 1
+        store g, %v
+    fn main():
+        spawn %a, helper
+        spawn %b, helper
+        spawn %c, helper
+        join %a
+        join %b
+        join %c
+        halt
+    """)
+    # Record seed 2 interleaves the helpers so an ungated implicit ret
+    # runs ahead of its recorded turn on every replay seed below.
+    log = record_run(program,
+                     SelectiveRecorder(control_plane={"helper", "main"}),
+                     seed=2, scheduler=RandomScheduler(seed=2))
+    assert any(site == "helper@3" for __, site in log.selective_order), \
+        "the implicit ret must be recorded at its virtual site"
+    total_divergences = 0
+    for seed in range(8):
+        result = SelectiveReplayer(replay_seeds=[seed]).replay(program, log)
+        total_divergences += result.divergences
+    assert total_divergences == 0
+
+
 def test_output_only_replay_searches_inputs():
     # Deterministic single-threaded echo: output == input.
     program = assemble("""

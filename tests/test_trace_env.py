@@ -52,6 +52,19 @@ def test_trace_event_selectors():
     assert all(s.sync for s in trace.sync_events())
     assert all(s.io for s in trace.io_events())
     assert all(s.reads or s.writes for s in trace.shared_accesses())
+    assert all(s.writes for s in trace.write_events())
+
+
+def test_trace_steps_at_site():
+    trace = sample_machine().trace
+    sites = trace.sites_executed()
+    assert len(sites) == trace.total_steps
+    # Every step is findable through the per-site index, at its own site.
+    site = sites[0]
+    steps = trace.steps_at_site(site)
+    assert steps
+    assert all(s.site == site for s in steps)
+    assert trace.steps_at_site("nowhere@99") == []
 
 
 def test_environment_input_bookkeeping():

@@ -91,6 +91,79 @@ def test_fall_off_function_end_returns_zero():
     assert m.env.outputs["o"] == [0]
 
 
+def test_implicit_ret_is_a_recorded_step():
+    """Falling off a function's end must be observable like explicit ret."""
+    from repro.vm import assemble
+    program = assemble("""
+    fn noop():
+        nop
+
+    fn main():
+        call %y, noop
+        output "o", %y
+        halt
+    """)
+    observed = []
+    machine = Machine(program)
+    machine.add_observer(lambda m, step: observed.append(step))
+    machine.run()
+    rets = [s for s in machine.trace.steps if s.op == "ret"]
+    assert len(rets) == 1
+    # Recorded at the virtual pc one past the function body.
+    assert rets[0].function == "noop"
+    assert rets[0].pc == 1
+    assert any(s.op == "ret" for s in observed), \
+        "observers must see the implicit return"
+    assert machine.env.outputs["o"] == [0]
+
+
+def test_implicit_and_explicit_ret_are_consistent():
+    """Both return paths produce identical step streams and meter costs."""
+    implicit = run_asm("""
+    fn w():
+        nop
+    fn main():
+        spawn %t, w
+        join %t
+        halt
+    """)
+    explicit = run_asm("""
+    fn w():
+        nop
+        ret
+    fn main():
+        spawn %t, w
+        join %t
+        halt
+    """)
+    assert implicit.steps == explicit.steps
+    assert ([ (s.tid, s.op, s.pc) for s in implicit.trace.steps]
+            == [(s.tid, s.op, s.pc) for s in explicit.trace.steps])
+    assert implicit.meter.native_cycles == explicit.meter.native_cycles
+
+
+def test_decode_cache_shared_between_machines():
+    """Decoded handler tables are built once per (function, program)."""
+    from repro.vm import assemble
+    program = assemble("""
+    fn main():
+        const %a, 1
+        output "o", %a
+        halt
+    """)
+    m1 = Machine(program)
+    m1.run()
+    fn = program.function("main")
+    cache_after_first = fn.decode_cache
+    assert cache_after_first is not None
+    assert cache_after_first[0] is program
+    m2 = Machine(program)
+    m2.run()
+    assert fn.decode_cache is cache_after_first, \
+        "second machine must reuse the decoded body"
+    assert m2.env.outputs["o"] == [1]
+
+
 def test_division_by_zero_failure():
     m = run_asm("""
     fn main():
