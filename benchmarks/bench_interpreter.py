@@ -13,8 +13,8 @@ Run with::
 import pytest
 
 from repro.harness.bench import (BENCH_SUMMARY_PATH, WORKLOADS,
-                                 bench_trace_queries, run_workload,
-                                 write_summary)
+                                 bench_search, bench_trace_queries,
+                                 run_workload, write_summary)
 from repro.util.tables import Table
 
 pytestmark = pytest.mark.perf
@@ -34,7 +34,8 @@ def _emit_summary():
         table.add_row(workload=name, steps=row["steps"],
                       seconds=row["seconds"],
                       steps_per_sec=row["steps_per_sec"])
-    write_summary(table, bench_trace_queries(), path=BENCH_SUMMARY_PATH)
+    write_summary(table, bench_trace_queries(), path=BENCH_SUMMARY_PATH,
+                  search=bench_search())
 
 
 @pytest.mark.parametrize("workload", list(WORKLOADS))

@@ -1,0 +1,85 @@
+"""Inference-search throughput benchmarks (checkpoint + prune pipeline).
+
+Statistical counterpart of ``python -m repro bench --section search``:
+the same output-determinism workload is searched under the pre-PR-2
+configuration (every candidate replayed from step 0 with full tracing)
+and under the checkpointed, trace-free pipeline, and the regression test
+pins the speedup floor.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_search.py
+"""
+
+import time
+
+import pytest
+
+from repro.harness.bench import (SEARCH_MODES, SEARCH_TARGET_INPUTS,
+                                 _search_workload, bench_search,
+                                 run_search_mode)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _search_workload()
+
+
+@pytest.mark.parametrize("mode", SEARCH_MODES)
+def test_search_mode_finds_target(benchmark, workload, mode):
+    program, recorded = workload
+    outcome = benchmark(lambda: run_search_mode(mode, program, recorded))
+    assert outcome.found
+    assert outcome.machine.trace.inputs_consumed["in"] == \
+        SEARCH_TARGET_INPUTS
+
+
+def _candidates_per_sec(mode, program, recorded, repeats=3):
+    run_search_mode(mode, program, recorded)  # warmup (decode, allocator)
+    best = 0.0
+    for __ in range(repeats):
+        start = time.perf_counter()
+        outcome = run_search_mode(mode, program, recorded)
+        elapsed = time.perf_counter() - start
+        best = max(best, outcome.attempts / elapsed)
+    return best
+
+
+def test_counting_search_is_2x_full_trace_search(workload):
+    """The counting-mode pipeline must explore >=2x the candidates/sec.
+
+    The measured gap on the reference container is ~10x (trace-free
+    candidates + checkpoint forks + divergent-output aborts vs full-trace
+    from-scratch candidates); the floor is deliberately conservative to
+    survive hardware variance.
+    """
+    program, recorded = workload
+    full = _candidates_per_sec("full_trace_scratch", program, recorded)
+    pruned = _candidates_per_sec("checkpoint_prune", program, recorded)
+    assert pruned >= 2 * full, (
+        f"counting-mode search regressed: {pruned:,.0f} vs "
+        f"{full:,.0f} candidates/sec (need >=2x)")
+
+
+def test_pruned_search_charges_fewer_inference_cycles(workload):
+    """Cycle accounting must reflect the pruning, not just wall clock."""
+    program, recorded = workload
+    full = run_search_mode("full_trace_scratch", program, recorded)
+    pruned = run_search_mode("checkpoint_prune", program, recorded)
+    assert pruned.attempts == full.attempts, \
+        "pruning must not change the candidate enumeration"
+    assert pruned.inference_cycles * 3 < full.inference_cycles
+    assert pruned.forked_candidates > 0
+    assert pruned.aborted_candidates > 0
+    assert pruned.saved_cycles > 0
+
+
+def test_bench_search_table_shape():
+    table = bench_search(repeats=1)
+    modes = [row["mode"] for row in table]
+    assert modes == list(SEARCH_MODES)
+    speedups = {row["mode"]: row["speedup_vs_full"] for row in table}
+    assert speedups["checkpoint_prune"] >= 3.0, \
+        "checkpointed search must clear 3x the scratch baseline"

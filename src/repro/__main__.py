@@ -8,6 +8,9 @@ Commands
 ``demo <app> [--model M]`` record + replay one corpus bug under a model
 ``bench``                  run the substrate benchmarks, print the
                            steps/sec tables, write BENCH_interpreter.json
+                           (``--section interpreter|trace|search`` picks a
+                           subset; unmeasured sections keep their last
+                           recorded values in the summary)
 """
 
 from __future__ import annotations
@@ -63,7 +66,8 @@ def _cmd_demo(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.harness.bench import run_bench
-    tables = run_bench(path=args.output, repeats=args.repeats)
+    tables = run_bench(path=args.output, repeats=args.repeats,
+                       sections=args.section or None)
     for table in tables:
         print(table.render())
         print()
@@ -98,6 +102,10 @@ def main(argv=None) -> int:
                               help="where to write the JSON perf summary")
     bench_parser.add_argument("--repeats", type=int, default=3,
                               help="timing repetitions per workload")
+    bench_parser.add_argument("--section", action="append",
+                              choices=["interpreter", "trace", "search"],
+                              help="run only the named section(s); "
+                                   "repeatable (default: all)")
     bench_parser.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)

@@ -134,6 +134,11 @@ def enumerate_root_causes(search: ExecutionSearch,
     each one.  Exhaustiveness is bounded by the search budget, exactly as
     the paper notes ("potentially including false positives" / requiring
     manual confirmation).
+
+    Because the dedupe key *is* the diagnosis (which inspects the trace),
+    the search keeps full tracing on for candidates; it still prunes via
+    checkpoint prefix sharing, and the budget's cycle ceiling is enforced
+    inside each candidate run rather than between runs.
     """
     diagnoser = diagnoser or Diagnoser()
     budget = budget or SearchBudget(max_attempts=400)

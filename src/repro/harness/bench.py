@@ -1,9 +1,10 @@
-"""Substrate performance benchmarks: interpreter throughput + trace queries.
+"""Substrate performance benchmarks: interpreter, trace queries, search.
 
 The perf trajectory of the MiniVM hot path is tracked across PRs: the
-workloads here are executed both by ``benchmarks/bench_interpreter.py``
-(pytest-benchmark, statistical) and by ``python -m repro bench`` (one
-command, prints the steps/sec table and writes ``BENCH_interpreter.json``).
+workloads here are executed both by ``benchmarks/bench_interpreter.py`` /
+``benchmarks/bench_search.py`` (pytest-benchmark, statistical) and by
+``python -m repro bench`` (one command, prints the tables and writes
+``BENCH_interpreter.json``; ``--section`` selects a subset).
 
 Workloads cover the interpreter's main cost regimes:
 
@@ -13,19 +14,29 @@ Workloads cover the interpreter's main cost regimes:
                decode-dispatch floor.
 ``calls``      call/return-heavy recursion - frame allocation cost.
 ``array``      shared-array streaming - bounds-checked memory path.
+
+The ``search`` section measures inference-search throughput
+(candidates/sec) on an output-determinism workload, comparing the
+pre-PR-2 configuration (every candidate re-executed from step 0 with
+full tracing) against trace-free candidates and the full checkpoint +
+prune pipeline.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.replay.search import (ExecutionSearch, InputSpace, SearchBudget,
+                                 divergent_output_abort)
+from repro.util.intervals import Interval
 from repro.util.tables import Table
 from repro.vm import RandomScheduler, assemble, run_program
 from repro.vm.trace import StepRecord, Trace
 
 BENCH_SUMMARY_PATH = "BENCH_interpreter.json"
+BENCH_SECTIONS = ("interpreter", "trace", "search")
 
 COUNTER_SRC = """
 global counter = 0
@@ -227,22 +238,150 @@ def bench_trace_queries(n_steps: int = TRACE_BENCH_STEPS,
     return table
 
 
-def write_summary(interpreter: Table,
+# -- inference-search throughput ---------------------------------------------
+#
+# An output-determinism inference workload shaped like the §2 parables:
+# two input values are consumed with a chunk of compute after each, and
+# every consumed value is echoed before the final answer - so a searcher
+# that prunes can (a) kill wrong-first-value candidates at the first
+# echoed output and (b) resume shared first-value prefixes from a
+# checkpoint instead of re-running the first compute chunk.
+SEARCH_SRC = """
+fn main():
+    input %a, "in"
+    output "echo", %a
+    const %i, 150
+w1:
+    jz %i, n1
+    sub %i, %i, 1
+    jmp w1
+n1:
+    input %b, "in"
+    output "echo", %b
+    const %j, 150
+w2:
+    jz %j, n2
+    sub %j, %j, 1
+    jmp w2
+n2:
+    add %s, %a, %b
+    mul %p, %a, %b
+    output "sum", %s
+    output "prod", %p
+    halt
+"""
+
+SEARCH_DOMAIN_HI = 7          # values 0..7 per slot -> 64 candidates
+SEARCH_TARGET_INPUTS = [6, 7]  # late in lexicographic order
+
+# mode -> ExecutionSearch/search() configuration.
+SEARCH_MODES = ("full_trace_scratch", "counting", "checkpoint_prune")
+
+
+def _search_workload():
+    program = assemble(SEARCH_SRC)
+    recorded = run_program(program, inputs={"in": list(SEARCH_TARGET_INPUTS)})
+    return program, {k: list(v) for k, v in recorded.env.outputs.items()}
+
+
+def run_search_mode(mode: str, program=None, recorded_outputs=None):
+    """One search over the workload under a named configuration.
+
+    ``full_trace_scratch`` is the pre-checkpoint baseline: every
+    candidate replayed from step 0 with full tracing.  ``counting`` runs
+    candidates trace-free.  ``checkpoint_prune`` adds prefix-sharing
+    forks and the divergent-output early abort (the default pipeline).
+    """
+    if program is None:
+        program, recorded_outputs = _search_workload()
+    space = InputSpace.grid({"in": (2, Interval(0, SEARCH_DOMAIN_HI))})
+    if mode == "full_trace_scratch":
+        search = ExecutionSearch(program, space, schedule_seeds=range(1),
+                                 prefix_sharing=False,
+                                 candidate_trace_mode="full")
+        abort = None
+    elif mode == "counting":
+        search = ExecutionSearch(program, space, schedule_seeds=range(1),
+                                 prefix_sharing=False)
+        abort = None
+    elif mode == "checkpoint_prune":
+        search = ExecutionSearch(program, space, schedule_seeds=range(1))
+        abort = divergent_output_abort(recorded_outputs)
+    else:
+        raise ValueError(f"unknown search bench mode {mode!r}")
+    outcome = search.search(
+        lambda m: m.env.outputs == recorded_outputs,
+        budget=SearchBudget(max_attempts=5000),
+        early_abort=abort)
+    assert outcome.found, f"{mode}: search bench must find its target"
+    assert (outcome.machine.trace.inputs_consumed["in"]
+            == SEARCH_TARGET_INPUTS), f"{mode}: wrong candidate accepted"
+    return outcome
+
+
+def bench_search(repeats: int = 3) -> Table:
+    """Candidates/sec per search mode (best of ``repeats``, post-warmup)."""
+    program, recorded_outputs = _search_workload()
+    table = Table(["mode", "attempts", "seconds", "candidates_per_sec",
+                   "speedup_vs_full"],
+                  title="Inference search throughput (output determinism)")
+    baseline_rate = None
+    for mode in SEARCH_MODES:
+        run_search_mode(mode, program, recorded_outputs)  # warmup
+        best_rate = 0.0
+        best_seconds = 0.0
+        attempts = 0
+        for __ in range(max(1, repeats)):
+            start = time.perf_counter()
+            outcome = run_search_mode(mode, program, recorded_outputs)
+            elapsed = time.perf_counter() - start
+            attempts = outcome.attempts
+            rate = attempts / elapsed if elapsed > 0 else float("inf")
+            if rate > best_rate:
+                best_rate = rate
+                best_seconds = elapsed
+        if baseline_rate is None:
+            baseline_rate = best_rate
+        table.add_row(mode=mode, attempts=attempts, seconds=best_seconds,
+                      candidates_per_sec=round(best_rate),
+                      speedup_vs_full=round(best_rate / baseline_rate, 2))
+    return table
+
+
+def write_summary(interpreter: Optional[Table] = None,
                   queries: Optional[Table] = None,
-                  path: str = BENCH_SUMMARY_PATH) -> Dict[str, Any]:
-    """Write the machine-readable perf summary tracked across PRs."""
-    summary: Dict[str, Any] = {
-        "benchmark": "minivm-interpreter",
-        "workloads": {row["workload"]: {
+                  path: str = BENCH_SUMMARY_PATH,
+                  search: Optional[Table] = None) -> Dict[str, Any]:
+    """Write the machine-readable perf summary tracked across PRs.
+
+    Sections not measured this run (``None``) are carried over from the
+    existing summary file, so ``--section`` runs don't drop history.
+    """
+    summary: Dict[str, Any] = {"benchmark": "minivm-interpreter"}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+        for key in ("workloads", "trace_queries", "search"):
+            if key in previous:
+                summary[key] = previous[key]
+    except (OSError, ValueError):
+        pass
+    if interpreter is not None:
+        summary["workloads"] = {row["workload"]: {
             "steps": row["steps"],
             "steps_per_sec": row["steps_per_sec"],
-        } for row in interpreter},
-    }
+        } for row in interpreter}
     if queries is not None:
         summary["trace_queries"] = {row["query"]: {
             "trace_steps": row["trace_steps"],
             "queries_per_sec": row["queries_per_sec"],
         } for row in queries}
+    if search is not None:
+        summary["search"] = {row["mode"]: {
+            "attempts": row["attempts"],
+            "candidates_per_sec": row["candidates_per_sec"],
+            "speedup_vs_full": row["speedup_vs_full"],
+        } for row in search}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -250,9 +389,23 @@ def write_summary(interpreter: Table,
 
 
 def run_bench(path: str = BENCH_SUMMARY_PATH,
-              repeats: int = 3) -> List[Table]:
+              repeats: int = 3,
+              sections: Optional[Sequence[str]] = None) -> List[Table]:
     """The ``python -m repro bench`` entry point."""
-    interpreter = bench_interpreter(repeats=repeats)
-    queries = bench_trace_queries()
-    write_summary(interpreter, queries, path=path)
-    return [interpreter, queries]
+    selected = tuple(sections) if sections else BENCH_SECTIONS
+    unknown = set(selected) - set(BENCH_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown bench sections: {sorted(unknown)}")
+    tables: List[Table] = []
+    interpreter = queries = search = None
+    if "interpreter" in selected:
+        interpreter = bench_interpreter(repeats=repeats)
+        tables.append(interpreter)
+    if "trace" in selected:
+        queries = bench_trace_queries()
+        tables.append(queries)
+    if "search" in selected:
+        search = bench_search(repeats=repeats)
+        tables.append(search)
+    write_summary(interpreter, queries, path=path, search=search)
+    return tables

@@ -14,14 +14,14 @@ replayed run matches the recorded outputs and branch paths.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.errors import ReplayDivergenceError
 from repro.record.log import RecordingLog
 from repro.replay.base import (PerThreadFeed, Replayer, ReplayResult,
                                TidMapper)
 from repro.replay.search import (ExecutionSearch, InputSpace, SearchBudget,
-                                 SearchOutcome)
+                                 SearchOutcome, divergent_output_abort)
 from repro.vm.environment import Environment
 from repro.vm.failures import IOSpec
 from repro.vm.machine import INTERCEPT_MISS, Machine
@@ -54,8 +54,11 @@ class OutputOnlyReplayer(Replayer):
             program, self.input_space,
             schedule_seeds=self.schedule_seeds,
             io_spec=io_spec, net_drop_rate=self.net_drop_rate)
+        # Candidates run trace-free and die at their first output value
+        # that diverges from the log; only the accepted run is re-traced.
         outcome = search.search(
-            lambda m: outputs_match(m, log.outputs), budget=self.budget)
+            lambda m: outputs_match(m, log.outputs), budget=self.budget,
+            early_abort=divergent_output_abort(log.outputs))
         return _result_from_outcome(self.model, outcome)
 
 
@@ -80,35 +83,59 @@ class OdrReplayer(Replayer):
                io_spec: Optional[IOSpec] = None) -> ReplayResult:
         attempts = 0
         inference_cycles = 0
-        best: Optional[Machine] = None
-        for seed in self.inner_seeds:
+        accepted: Optional[Tuple[Machine, str, int]] = None
+        abort = divergent_output_abort(log.outputs)
+        for index, seed in enumerate(self.inner_seeds):
             if not self.budget.allows(attempts, inference_cycles):
                 break
-            machine = self._run_once(program, log, io_spec, seed)
+            # The first attempt keeps full tracing so an immediate accept
+            # needs no second run; retries run trace-free (branch paths
+            # are still collected - the acceptor needs them) and die at
+            # the first output that diverges from the recorded log.  The
+            # budget's remaining cycle allowance caps each run.
+            mode = "full" if index == 0 else "counting"
+            machine = self._run_once(
+                program, log, io_spec, seed, trace_mode=mode,
+                max_native_cycles=self.budget.remaining_cycles(
+                    inference_cycles),
+                early_abort=abort)
             attempts += 1
             inference_cycles += machine.meter.native_cycles
+            if machine.aborted or machine.hit_cycle_limit:
+                continue
             if (outputs_match(machine, log.outputs)
                     and self._paths_match(machine, log)):
-                best = machine
+                accepted = (machine, mode, seed)
                 break
-        if best is None:
+        if accepted is None:
             return ReplayResult(model=self.model, trace=None, failure=None,
                                 inference_cycles=inference_cycles,
                                 attempts=attempts, found=False)
+        best, mode, seed = accepted
+        # The accepted execution is the caller's replay, not inference.
         inference_cycles -= best.meter.native_cycles
+        if mode != "full":
+            # Materialize the accepted interleaving once with full tracing.
+            best = self._run_once(program, log, io_spec, seed)
         return self._result_from_machine(
             self.model, best, attempts=attempts,
             inference_cycles=inference_cycles)
 
     def _run_once(self, program: Program, log: RecordingLog,
-                  io_spec: Optional[IOSpec], seed: int) -> Machine:
+                  io_spec: Optional[IOSpec], seed: int,
+                  trace_mode: str = "full",
+                  max_native_cycles: Optional[int] = None,
+                  early_abort=None) -> Machine:
         env = Environment(inputs=log.inputs, seed=0)
         scheduler = SyncOrderScheduler(
             log.sync_order, inner=RandomScheduler(seed=seed,
                                                   switch_prob=0.3))
         machine = Machine(program, env=env, scheduler=scheduler,
                           io_spec=io_spec,
-                          max_steps=max(log.total_steps * 4, 1000))
+                          max_steps=max(log.total_steps * 4, 1000),
+                          trace_mode=trace_mode,
+                          max_native_cycles=max_native_cycles)
+        machine.early_abort = early_abort
         mapper = TidMapper(log.thread_spawns)
         machine.add_observer(mapper.observe)
         inputs = PerThreadFeed(log.thread_inputs)
@@ -148,12 +175,13 @@ def _result_from_outcome(model: str, outcome: SearchOutcome) -> ReplayResult:
                             inference_cycles=outcome.inference_cycles,
                             attempts=outcome.attempts, found=False)
     machine = outcome.machine
+    # outcome.inference_cycles already excludes the accepted execution.
     return ReplayResult(
         model=model,
         trace=machine.trace,
         failure=machine.failure,
         replay_cycles=machine.meter.native_cycles,
-        inference_cycles=outcome.inference_cycles - machine.meter.native_cycles,
+        inference_cycles=outcome.inference_cycles,
         attempts=outcome.attempts,
         found=True,
     )

@@ -12,6 +12,34 @@ determinism).
 Every explored execution's cycles are charged to the inference budget -
 this is the paper's "prohibitively large post-factum analysis times"
 failure mode made measurable.
+
+Checkpointed, trace-free candidate search
+-----------------------------------------
+Three optimizations make the search budget go further without changing
+which candidate is accepted (enumeration order is preserved):
+
+* **Trace-free candidates.**  Candidate runs execute in the machine's
+  ``counting`` trace mode: no per-step :class:`StepRecord` is allocated;
+  only step/cycle counts, the failure signature, the output log, and
+  branch paths survive.  The single *accepted* candidate is re-run once
+  with full tracing ("record less, infer more", applied to the inference
+  engine itself).
+* **Prefix sharing.**  Candidates with the same schedule seed are a tree
+  over input assignments: two candidates behave identically until the
+  first differing input value is consumed.  The search checkpoints the
+  machine at each input-consumption point (:meth:`Machine.snapshot`) and
+  resumes the next candidate by *forking* the deepest shared checkpoint
+  instead of replaying from step 0.
+* **Early abort.**  An ``early_abort`` hook sees every executed I/O step
+  and may kill the candidate immediately; :func:`divergent_output_abort`
+  stops output-determinism candidates at the first output value that can
+  no longer lead to log equality, instead of running them to
+  ``max_steps``.
+
+The budget's cycle ceiling is enforced *inside* each candidate run (the
+remaining allowance is passed to the machine as ``max_native_cycles``),
+so a single candidate can no longer overshoot ``max_cycles`` by an
+entire ``max_steps`` execution.
 """
 
 from __future__ import annotations
@@ -24,9 +52,11 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
 from repro.util.intervals import Interval
 from repro.vm.environment import Environment
 from repro.vm.failures import IOSpec
-from repro.vm.machine import Machine
+from repro.vm.machine import EarlyAbort, Machine
 from repro.vm.program import Program
 from repro.vm.scheduler import RandomScheduler, Scheduler
+from repro.vm.thread import ThreadStatus
+from repro.vm.trace import StepRecord
 
 
 @dataclass
@@ -38,6 +68,36 @@ class SearchBudget:
 
     def allows(self, attempts: int, cycles: int) -> bool:
         return attempts < self.max_attempts and cycles < self.max_cycles
+
+    def remaining_cycles(self, cycles: int) -> int:
+        return max(self.max_cycles - cycles, 0)
+
+
+def divergent_output_abort(recorded_outputs: Dict[str, List[Any]]
+                           ) -> EarlyAbort:
+    """Early-abort hook for exact-output acceptors.
+
+    Outputs only ever append, so the moment a run's output log stops
+    being a prefix of the recorded log - wrong value, extra value, or an
+    unrecorded channel - final equality is impossible and the candidate
+    can be killed at that very ``output`` step.  Syscall-driven outputs
+    (e.g. ``net_send``) are left to the final check; the hook only aborts
+    when divergence is certain.
+    """
+    recorded = {channel: list(values)
+                for channel, values in recorded_outputs.items()}
+
+    def abort(machine: Machine, record: StepRecord) -> bool:
+        io = record.io
+        if io[0] != "output":
+            return False
+        produced = machine.env.outputs[io[1]]
+        want = recorded.get(io[1])
+        count = len(produced)
+        return (want is None or count > len(want)
+                or want[count - 1] != produced[-1])
+
+    return abort
 
 
 class InputSpace:
@@ -70,6 +130,8 @@ class InputSpace:
         Enumerates every combination of values for every channel slot in
         lexicographic order.  Exponential, as real input inference is;
         meant for small domains (and for demonstrating the blow-up).
+        Lexicographic order is also what makes checkpoint reuse
+        effective: consecutive candidates share long value prefixes.
         """
         channels = sorted(shape.items())
 
@@ -99,7 +161,16 @@ class InputSpace:
 
 @dataclass
 class SearchOutcome:
-    """Result of one inference search."""
+    """Result of one inference search.
+
+    ``inference_cycles`` counts the cycles *charged to exploration*: every
+    rejected/aborted/truncated candidate, plus - under ``collect_all`` -
+    the accepted candidates themselves.  The returned ``machine``'s own
+    execution (the replay the caller gets to keep) is excluded, and the
+    full-trace materialization of an accepted trace-free candidate is
+    never charged; the budget's cycle ceiling therefore genuinely bounds
+    ``inference_cycles``.
+    """
 
     machine: Optional[Machine]
     attempts: int = 0
@@ -107,6 +178,164 @@ class SearchOutcome:
     found: bool = False
     # Every distinct accepted machine when collect_all is used.
     all_accepted: List[Machine] = field(default_factory=list)
+    # Exploration charge refunded for the accepted execution; callers
+    # that end up reporting a *different* execution as their replay
+    # (e.g. synthesis minimization) must re-charge this to inference.
+    refunded_cycles: int = 0
+    # Diagnostics for the checkpoint/prune machinery.
+    aborted_candidates: int = 0       # killed by the early-abort hook
+    capped_candidates: int = 0        # truncated by the cycle ceiling
+    forked_candidates: int = 0        # resumed from a prefix checkpoint
+    saved_cycles: int = 0             # prefix cycles not re-executed
+    materialized_runs: int = 0        # full-trace re-runs of accepted runs
+
+
+def default_dedupe_key(machine: Machine) -> Tuple:
+    """Behavioural identity of an accepted execution.
+
+    Two runs with the same failure signature and the same output log are
+    the same *observable* behaviour; ``collect_all`` deduplicates on this
+    by default (``id(machine)`` - the old default - never deduplicated
+    anything).  Computable from a trace-free candidate.
+    """
+    failure = machine.failure
+    signature = failure.signature() if failure is not None else None
+    outputs = tuple(sorted(
+        (channel, tuple(values))
+        for channel, values in machine.env.outputs.items()))
+    return (signature, outputs)
+
+
+class _Checkpoint:
+    """A frozen machine snapshot taken right after one input consumption.
+
+    ``tid``/``dst`` identify the consuming thread and its destination
+    register, which is everything (besides the consumed-input log entry)
+    through which the consumed value has influenced machine state at the
+    snapshot instant - the basis for retargeting (below).
+    """
+
+    __slots__ = ("machine", "tid", "channel", "dst")
+
+    def __init__(self, machine: Machine, tid: int, channel: str, dst: str):
+        self.machine = machine
+        self.tid = tid
+        self.channel = channel
+        self.dst = dst
+
+
+class _SeedCheckpoints:
+    """Per-schedule-seed checkpoint chain from the previous candidate.
+
+    ``consumed`` is the flattened ``(channel, value)`` consumption
+    sequence of the run the checkpoints describe; ``checkpoints[k]`` was
+    snapshotted right after the ``k+1``-th consumption (the list may be
+    shorter than ``consumed`` when the checkpoint cap was hit).
+
+    Two resumption flavours:
+
+    * **Strict prefix**: the candidate reproduces the first ``k``
+      consumed values verbatim - fork ``checkpoints[k-1]``, swap in the
+      remaining pending inputs, run.
+    * **Retarget** (trace-free candidates only): the candidate diverges
+      *at* consumption ``k``.  At that snapshot instant the consumed
+      value has influenced nothing but the destination register and the
+      consumed-input log (the input step's schedule position and every
+      RNG stream are value-independent), so the fork rewrites those two
+      cells and continues - sharing the entire prefix up to and
+      including the divergent input step.  Full-trace candidates cannot
+      retarget: their trace already holds the old value's step record.
+    """
+
+    __slots__ = ("consumed", "checkpoints")
+
+    def __init__(self):
+        self.consumed: List[Tuple[str, Any]] = []
+        self.checkpoints: List[_Checkpoint] = []
+
+    def plan(self, inputs: Dict[str, List[Any]],
+             allow_retarget: bool) -> Tuple[int, bool]:
+        """Choose the deepest usable checkpoint for candidate ``inputs``.
+
+        Returns ``(fork_len, retarget)``: fork ``checkpoints[fork_len-1]``
+        (0 = run from scratch); with ``retarget`` the forked state's last
+        consumption is rewritten to the candidate's value.
+        """
+        cursors: Dict[str, int] = {}
+        strict = 0
+        for channel, value in self.consumed:
+            if strict >= len(self.checkpoints):
+                break
+            cursor = cursors.get(channel, 0)
+            values = inputs.get(channel)
+            if values is None or cursor >= len(values) \
+                    or values[cursor] != value:
+                break
+            cursors[channel] = cursor + 1
+            strict += 1
+        fork_len, retarget = strict, False
+        if (allow_retarget and strict < len(self.consumed)
+                and strict < len(self.checkpoints)):
+            channel, __ = self.consumed[strict]
+            cursor = cursors.get(channel, 0)
+            values = inputs.get(channel)
+            if values is not None and cursor < len(values):
+                fork_len, retarget = strict + 1, True
+        while fork_len > 0 \
+                and not self._availability_compatible(inputs, fork_len):
+            fork_len -= 1
+            retarget = False
+        return fork_len, retarget
+
+    def _availability_compatible(self, inputs: Dict[str, List[Any]],
+                                 fork_len: int) -> bool:
+        """Would the candidate have reached this checkpoint identically?
+
+        Input-*blocking* is an availability observation, not a value: a
+        thread that blocked because a channel ran dry executed (and was
+        scheduled) differently than it would under a candidate with more
+        values on that channel.  A checkpoint holding a thread in
+        ``BLOCKED_INPUT`` is therefore only resumable for candidates
+        that have that channel equally exhausted at this point.
+        """
+        machine = self.checkpoints[fork_len - 1].machine
+        blocked = [thread.blocked_on for thread in machine.threads.values()
+                   if thread.status is ThreadStatus.BLOCKED_INPUT]
+        if not blocked:
+            return True
+        counts: Dict[str, int] = {}
+        for channel, __ in self.consumed[:fork_len]:
+            counts[channel] = counts.get(channel, 0) + 1
+        for channel in blocked:
+            values = inputs.get(channel)
+            if values is not None and len(values) > counts.get(channel, 0):
+                return False
+        return True
+
+    def value_at(self, inputs: Dict[str, List[Any]], position: int) -> Any:
+        """The candidate's value for consumption ``position`` (0-based)."""
+        channel = self.consumed[position][0]
+        cursor = 0
+        for other, __ in self.consumed[:position]:
+            if other == channel:
+                cursor += 1
+        return inputs[channel][cursor]
+
+    def remaining_inputs(self, inputs: Dict[str, List[Any]],
+                         prefix_len: int) -> Dict[str, List[Any]]:
+        """Candidate inputs minus the ``prefix_len`` consumed values."""
+        cursors: Dict[str, int] = {}
+        for channel, __ in self.consumed[:prefix_len]:
+            cursors[channel] = cursors.get(channel, 0) + 1
+        return {channel: list(values[cursors.get(channel, 0):])
+                for channel, values in inputs.items()}
+
+    def rebase(self, prefix_len: int,
+               consumed: List[Tuple[str, Any]],
+               checkpoints: List[_Checkpoint]) -> None:
+        """Keep the shared prefix, replace the tail with the new run's."""
+        self.consumed = self.consumed[:prefix_len] + consumed
+        self.checkpoints = self.checkpoints[:prefix_len] + checkpoints
 
 
 class ExecutionSearch:
@@ -123,7 +352,10 @@ class ExecutionSearch:
                  max_steps: int = 500_000,
                  scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
                  env_factory: Optional[Callable[[Dict[str, List[Any]], int],
-                                                Environment]] = None):
+                                                Environment]] = None,
+                 prefix_sharing: bool = True,
+                 max_checkpoints: int = 32,
+                 candidate_trace_mode: str = "counting"):
         self.program = program
         self.input_space = input_space
         self.schedule_seeds = list(schedule_seeds)
@@ -132,6 +364,9 @@ class ExecutionSearch:
         self.env_seed_base = env_seed_base
         self.switch_prob = switch_prob
         self.max_steps = max_steps
+        self.prefix_sharing = prefix_sharing
+        self.max_checkpoints = max_checkpoints
+        self.candidate_trace_mode = candidate_trace_mode
         self._scheduler_factory = scheduler_factory or (
             lambda seed: RandomScheduler(seed=seed,
                                          switch_prob=self.switch_prob))
@@ -142,55 +377,198 @@ class ExecutionSearch:
         return Environment(inputs=inputs, seed=seed,
                            net_drop_rate=self.net_drop_rate)
 
-    def run_candidate(self, inputs: Dict[str, List[Any]],
-                      seed: int) -> Machine:
-        """Execute one candidate (used directly by some replayers)."""
+    def _spawn_candidate(self, inputs: Dict[str, List[Any]], seed: int,
+                         trace_mode: str,
+                         max_native_cycles: Optional[int]) -> Machine:
         env = self._env_factory(inputs, self.env_seed_base + seed)
-        machine = Machine(self.program, env=env,
-                          scheduler=self._scheduler_factory(seed),
-                          io_spec=self.io_spec, max_steps=self.max_steps)
+        return Machine(self.program, env=env,
+                       scheduler=self._scheduler_factory(seed),
+                       io_spec=self.io_spec, max_steps=self.max_steps,
+                       trace_mode=trace_mode,
+                       max_native_cycles=max_native_cycles)
+
+    def run_candidate(self, inputs: Dict[str, List[Any]], seed: int,
+                      trace_mode: str = "full",
+                      max_native_cycles: Optional[int] = None,
+                      early_abort: Optional[EarlyAbort] = None) -> Machine:
+        """Execute one candidate from scratch (also the materialization
+        path: re-running an accepted trace-free candidate with full
+        tracing reproduces it exactly)."""
+        machine = self._spawn_candidate(inputs, seed, trace_mode,
+                                        max_native_cycles)
+        machine.early_abort = early_abort
         machine.run()
         return machine
+
+    def _run_pooled(self, inputs: Dict[str, List[Any]], seed: int,
+                    pools: Dict[int, _SeedCheckpoints],
+                    remaining_cycles: Optional[int],
+                    early_abort: Optional[EarlyAbort],
+                    trace_mode: str,
+                    take_checkpoints: bool,
+                    outcome: SearchOutcome) -> Tuple[Machine, int]:
+        """Run one candidate, forking the deepest shared checkpoint.
+
+        ``take_checkpoints`` gates snapshot collection: a pool is only
+        ever read by a *later, different* input assignment under the same
+        seed, so the search enables it once a second input candidate is
+        known to exist (single-assignment spaces pay nothing).
+
+        Returns ``(machine, executed_cycles)`` where ``executed_cycles``
+        excludes the checkpointed prefix the candidate did not re-run.
+        """
+        pool = pools.get(seed)
+        if pool is None:
+            pool = pools[seed] = _SeedCheckpoints()
+        if self.prefix_sharing:
+            # Retargeting rewrites the last consumed value in the forked
+            # state, which is only legal when no step record holds it.
+            fork_len, retarget = pool.plan(
+                inputs, allow_retarget=(trace_mode == "counting"))
+        else:
+            fork_len, retarget = 0, False
+        if fork_len:
+            checkpoint = pool.checkpoints[fork_len - 1]
+            machine = checkpoint.machine.fork()
+            if retarget:
+                value = pool.value_at(inputs, fork_len - 1)
+                thread = machine.threads[checkpoint.tid]
+                thread.frames[-1].registers[checkpoint.dst] = value
+                machine.env.inputs_consumed[checkpoint.channel][-1] = value
+                if take_checkpoints:
+                    # Keep the pool describing the *current* timeline:
+                    # future candidates matching this value must fork a
+                    # state that actually contains it.
+                    pool.checkpoints[fork_len - 1] = _Checkpoint(
+                        machine.snapshot(), checkpoint.tid,
+                        checkpoint.channel, checkpoint.dst)
+                    pool.consumed[fork_len - 1] = (checkpoint.channel, value)
+            machine.env.replace_pending_inputs(
+                pool.remaining_inputs(inputs, fork_len))
+            base_cycles = machine.meter.native_cycles
+            outcome.forked_candidates += 1
+            outcome.saved_cycles += base_cycles
+        else:
+            machine = self._spawn_candidate(inputs, seed, trace_mode, None)
+            base_cycles = 0
+        if remaining_cycles is not None:
+            machine.max_native_cycles = base_cycles + remaining_cycles
+        machine.early_abort = early_abort
+
+        new_consumed: List[Tuple[str, Any]] = []
+        new_checkpoints: List[_Checkpoint] = []
+        if take_checkpoints:
+            checkpoint_room = self.max_checkpoints - fork_len
+            program = self.program
+
+            def checkpoint_inputs(m: Machine, record: StepRecord) -> None:
+                io = record.io
+                if io is None or io[0] != "input":
+                    return
+                new_consumed.append((io[1], io[2]))
+                if len(new_checkpoints) < checkpoint_room:
+                    instr = program.function(record.function).body[record.pc]
+                    new_checkpoints.append(_Checkpoint(
+                        m.snapshot(), record.tid, io[1],
+                        instr.args[0].name))
+
+            machine.add_observer(checkpoint_inputs)
+        machine.run()
+        if take_checkpoints:
+            pool.rebase(fork_len, new_consumed, new_checkpoints)
+        return machine, machine.meter.native_cycles - base_cycles
 
     def search(self,
                accept: Callable[[Machine], bool],
                budget: Optional[SearchBudget] = None,
                collect_all: bool = False,
-               dedupe_key: Optional[Callable[[Machine], Any]] = None
+               dedupe_key: Optional[Callable[[Machine], Any]] = None,
+               early_abort: Optional[EarlyAbort] = None
                ) -> SearchOutcome:
         """Explore candidates until one is accepted or the budget dies.
 
-        With ``collect_all`` the search keeps going after acceptance and
-        gathers every accepted execution (deduplicated by ``dedupe_key``)
-        until the budget is exhausted - used for root-cause enumeration.
+        Candidates run trace-free (``counting`` mode); the accepted
+        execution is re-run once with full tracing, so callers still
+        receive machines with complete traces.  ``early_abort`` may kill
+        a candidate at any executed I/O step - the hook must only fire on
+        runs ``accept`` would reject.  With ``collect_all`` the search
+        keeps going after acceptance and gathers every *behaviourally
+        distinct* accepted execution (see :func:`default_dedupe_key`;
+        pass ``dedupe_key`` for a custom identity, e.g. the diagnosed
+        root cause) until the budget is exhausted.
         """
         budget = budget or SearchBudget()
         outcome = SearchOutcome(machine=None)
         seen_keys = set()
         # The explored machines all share one program, so the interpreter's
         # decode-once dispatch compiles each function body a single time
-        # for the entire search; per-candidate cost is pure execution.
-        run_candidate = self.run_candidate
+        # for the entire search; per-candidate cost is pure execution -
+        # minus the checkpointed prefixes the pools let candidates skip.
+        pools: Dict[int, _SeedCheckpoints] = {}
         schedule_seeds = self.schedule_seeds
         allows = budget.allows
-        for inputs in self.input_space.candidates():
+        # A custom dedupe key typically inspects the trace (e.g. root
+        # cause diagnosis), so every *accepted* candidate would need a
+        # full-trace materialization before dedupe; when collection rates
+        # are high that costs more than tracing candidates directly.
+        if collect_all and dedupe_key is not None:
+            trace_mode = "full"
+        else:
+            trace_mode = self.candidate_trace_mode
+        counting = trace_mode == "counting"
+        for input_index, inputs in enumerate(self.input_space.candidates()):
+            # Checkpoints pay off only across *different* input
+            # assignments, so collection starts with the second one;
+            # single-assignment spaces never pay for snapshots.
+            take_checkpoints = self.prefix_sharing and input_index > 0
             for seed in schedule_seeds:
                 if not allows(outcome.attempts, outcome.inference_cycles):
                     return outcome
-                machine = run_candidate(inputs, seed)
+                machine, executed = self._run_pooled(
+                    inputs, seed, pools,
+                    budget.remaining_cycles(outcome.inference_cycles),
+                    early_abort, trace_mode, take_checkpoints, outcome)
                 outcome.attempts += 1
-                outcome.inference_cycles += machine.meter.native_cycles
+                outcome.inference_cycles += executed
+                if machine.aborted:
+                    outcome.aborted_candidates += 1
+                    continue
+                if machine.hit_cycle_limit:
+                    # Truncated by the budget ceiling: an incomplete run
+                    # cannot be judged; the next allows() ends the search.
+                    outcome.capped_candidates += 1
+                    continue
                 if not accept(machine):
                     continue
+                if collect_all and dedupe_key is None:
+                    # The default key needs no trace: dedupe *before*
+                    # paying for materialization.
+                    key = default_dedupe_key(machine)
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                accepted = machine
+                if counting:
+                    # The materialization re-run reproduces the accepted
+                    # execution for the caller; it is replay, not
+                    # inference, and is not charged to the budget.
+                    accepted = self.run_candidate(inputs, seed)
+                    outcome.materialized_runs += 1
                 if not collect_all:
-                    outcome.machine = machine
+                    # The winning candidate's own execution is the
+                    # caller's replay; refund its exploration charge.
+                    outcome.inference_cycles -= executed
+                    outcome.refunded_cycles = executed
+                    outcome.machine = accepted
                     outcome.found = True
                     return outcome
-                key = dedupe_key(machine) if dedupe_key else id(machine)
-                if key not in seen_keys:
+                if dedupe_key is not None:
+                    key = dedupe_key(accepted)
+                    if key in seen_keys:
+                        continue
                     seen_keys.add(key)
-                    outcome.all_accepted.append(machine)
-                    if outcome.machine is None:
-                        outcome.machine = machine
-                        outcome.found = True
+                outcome.all_accepted.append(accepted)
+                if outcome.machine is None:
+                    outcome.machine = accepted
+                    outcome.found = True
         return outcome

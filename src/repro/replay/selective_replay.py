@@ -179,24 +179,36 @@ class SelectiveReplayer(Replayer):
         target = self.target_failure or log.failure
         attempts = 0
         inference_cycles = 0
-        last: Optional[Tuple[Machine, int]] = None
-        for seed in self.replay_seeds:
-            machine, divergences = self._run_once(program, log, io_spec, seed)
+        last: Optional[Tuple[Machine, int, str, int]] = None
+        for index, seed in enumerate(self.replay_seeds):
+            # The first attempt keeps full tracing (a replay that lands
+            # the target failure immediately needs no second run); retry
+            # runs are trace-free - only the failure signature is judged.
+            mode = "full" if index == 0 else "counting"
+            machine, divergences = self._run_once(program, log, io_spec,
+                                                  seed, trace_mode=mode)
             attempts += 1
             inference_cycles += machine.meter.native_cycles
-            last = (machine, divergences)
+            last = (machine, divergences, mode, seed)
             if target is None or (machine.failure is not None
                                   and target.same_failure(machine.failure)):
                 break
-        machine, divergences = last
+        machine, divergences, mode, seed = last
+        # The reported replay is not inference work; refund its charge,
+        # and materialize it with full tracing if it ran trace-free.
+        inference_cycles -= machine.meter.native_cycles
+        if mode != "full":
+            machine, divergences = self._run_once(program, log, io_spec,
+                                                  seed)
         return self._result_from_machine(
             self.model, machine, attempts=attempts,
-            inference_cycles=inference_cycles - machine.meter.native_cycles,
+            inference_cycles=inference_cycles,
             divergences=divergences)
 
     def _run_once(self, program: Program, log: RecordingLog,
                   io_spec: Optional[IOSpec],
-                  seed: int) -> Tuple[Machine, int]:
+                  seed: int,
+                  trace_mode: str = "full") -> Tuple[Machine, int]:
         # The replay environment re-supplies the workload's inputs; the
         # partially recorded inputs (control-plane consumption and
         # dial-up windows) only fill channels the workload cannot
@@ -218,7 +230,8 @@ class SelectiveReplayer(Replayer):
             inner=RandomScheduler(seed=seed, switch_prob=0.3))
         machine = Machine(program, env=env, scheduler=scheduler,
                           io_spec=io_spec,
-                          max_steps=max(log.total_steps * 8, 20_000))
+                          max_steps=max(log.total_steps * 8, 20_000),
+                          trace_mode=trace_mode)
         machine.add_observer(mapper.observe)
 
         syscall_feed: Dict[int, List[Tuple[str, Any]]] = {}

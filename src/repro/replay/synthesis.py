@@ -37,7 +37,8 @@ class ExecutionSynthesizer(Replayer):
                  net_drop_rate: float = 0.0,
                  switch_prob: float = 0.25,
                  minimize: bool = False,
-                 minimize_extra_attempts: int = 50):
+                 minimize_extra_attempts: int = 50,
+                 early_abort=None):
         self.input_space = input_space
         self.schedule_seeds = list(schedule_seeds)
         self.budget = budget or SearchBudget()
@@ -49,6 +50,10 @@ class ExecutionSynthesizer(Replayer):
         self.switch_prob = switch_prob
         self.minimize = minimize
         self.minimize_extra_attempts = minimize_extra_attempts
+        # Optional per-I/O-step kill hook for the candidate search (see
+        # ExecutionSearch.search; must only fire on candidates the
+        # failure acceptor would reject).
+        self.early_abort = early_abort
 
     def replay(self, program: Program, log: RecordingLog,
                io_spec: Optional[IOSpec] = None) -> ReplayResult:
@@ -67,7 +72,8 @@ class ExecutionSynthesizer(Replayer):
             return (machine.failure is not None
                     and target.same_failure(machine.failure))
 
-        outcome = search.search(accept, budget=self.budget)
+        outcome = search.search(accept, budget=self.budget,
+                                early_abort=self.early_abort)
         if not outcome.found:
             return ReplayResult(
                 model=self.model, trace=None, failure=None,
@@ -76,27 +82,52 @@ class ExecutionSynthesizer(Replayer):
 
         best = outcome.machine
         attempts = outcome.attempts
+        # Already excludes the accepted execution (the caller's replay).
         inference_cycles = outcome.inference_cycles
         if self.minimize:
             best, attempts, inference_cycles = self._minimize(
-                search, accept, best, attempts, inference_cycles)
+                search, accept, best, attempts, inference_cycles,
+                outcome.refunded_cycles)
         return self._result_from_machine(
             self.model, best, attempts=attempts,
-            inference_cycles=inference_cycles - best.meter.native_cycles)
+            inference_cycles=inference_cycles)
 
     def _minimize(self, search: ExecutionSearch, accept, best: Machine,
-                  attempts: int, inference_cycles: int):
-        """Keep exploring for a shorter accepted execution."""
+                  attempts: int, inference_cycles: int,
+                  best_refund: int = 0):
+        """Keep exploring for a shorter accepted execution.
+
+        The extra candidates run trace-free (cycle counts and failure
+        signatures are all the comparison needs); only a strictly cheaper
+        winner is re-run once with full tracing at the end.  Every probe
+        is charged to inference; the winner's materialization - the
+        replay the caller keeps - is not.
+        """
         extra = 0
+        cheapest = best.meter.native_cycles
+        winner: Optional[tuple] = None
         for inputs in self.input_space.candidates():
             for seed in self.schedule_seeds:
                 if extra >= self.minimize_extra_attempts:
-                    return best, attempts, inference_cycles
-                machine = search.run_candidate(inputs, seed)
+                    break
+                machine = search.run_candidate(inputs, seed,
+                                               trace_mode="counting")
                 attempts += 1
                 extra += 1
                 inference_cycles += machine.meter.native_cycles
-                if (accept(machine) and machine.meter.native_cycles
-                        < best.meter.native_cycles):
-                    best = machine
+                if (accept(machine)
+                        and machine.meter.native_cycles < cheapest):
+                    cheapest = machine.meter.native_cycles
+                    winner = ({k: list(v) for k, v in inputs.items()}, seed)
+            if extra >= self.minimize_extra_attempts:
+                break
+        if winner is not None:
+            # The originally accepted run is no longer the reported
+            # replay - it was pure inference after all; re-charge the
+            # refund the search gave it.
+            inference_cycles += best_refund
+            best = search.run_candidate(winner[0], winner[1])
+            # The loop already charged the winner's probe run; refund it
+            # now that this execution is the reported replay.
+            inference_cycles -= best.meter.native_cycles
         return best, attempts, inference_cycles

@@ -38,6 +38,14 @@ class DeterministicRng:
         """Return an independent child stream identified by ``name``."""
         return DeterministicRng(_derive_seed(self.seed, self.name), name)
 
+    def clone(self) -> "DeterministicRng":
+        """An exact copy *mid-stream*: the clone continues from the same
+        point in the sequence as the original (checkpoint/fork support).
+        """
+        twin = DeterministicRng(self.seed, self.name)
+        twin._random.setstate(self._random.getstate())
+        return twin
+
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in ``[lo, hi]`` inclusive."""
         return self._random.randint(lo, hi)

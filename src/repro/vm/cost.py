@@ -102,6 +102,11 @@ class OverheadMeter:
     def charge_native(self, cycles: int) -> None:
         self.native_cycles += cycles
 
+    def clone(self) -> "OverheadMeter":
+        """A copy for machine snapshot/fork."""
+        return OverheadMeter(self.native_cycles, self.recording_cycles,
+                             dict(self.recorded_events))
+
     def charge_recording(self, event_class: str, cycles: int,
                          count: int = 1) -> None:
         self.recording_cycles += cycles * count

@@ -92,6 +92,45 @@ class Environment:
             raise MachineError(f"unknown syscall {name!r}")
         return self._syscalls[name](self, args)
 
+    def replace_pending_inputs(self, inputs: Dict[str, List[Any]]) -> None:
+        """Replace the unconsumed queues for the given channels only.
+
+        Used by checkpoint-resumed executions: a machine forked at an
+        input-consumption point keeps the consumed prefix but swaps in a
+        different candidate's remaining values.  Channels not named in
+        ``inputs`` (e.g. supplied by a custom environment factory outside
+        the candidate assignment) keep their checkpointed queues.
+        """
+        for channel, values in inputs.items():
+            self._pending_inputs[channel] = list(values)
+
+    def fork(self) -> "Environment":
+        """A mid-run copy for machine snapshot/fork.
+
+        Pending/consumed inputs and outputs are copied by value and the
+        RNG continues from the same stream position, so a forked machine
+        sees exactly the environment behaviour the original would have.
+        Subclass identity and extra attributes are preserved (attributes
+        beyond the base state are copied by reference - subclasses with
+        mutable private state should override and extend this).  Syscall
+        handlers are shared by reference; handlers closing over external
+        mutable state are the caller's responsibility.
+        """
+        twin = type(self).__new__(type(self))
+        twin.__dict__.update(self.__dict__)
+        twin._pending_inputs = {
+            channel: list(values)
+            for channel, values in self._pending_inputs.items()}
+        twin.inputs_consumed = {
+            channel: list(values)
+            for channel, values in self.inputs_consumed.items()}
+        twin.outputs = {channel: list(values)
+                        for channel, values in self.outputs.items()}
+        twin.rng = self.rng.clone()
+        twin._syscalls = dict(self._syscalls)
+        twin._machine = None
+        return twin
+
     def clone_inputs(self) -> Dict[str, List[Any]]:
         """All inputs originally supplied (consumed + pending), per channel."""
         combined: Dict[str, List[Any]] = {}

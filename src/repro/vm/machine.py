@@ -24,6 +24,29 @@ no opcode string comparisons, no per-operand ``isinstance`` checks.
 Decoded bodies are cached on the :class:`~repro.vm.program.Function`
 (keyed by program identity), so the thousands of machines a replay
 search spawns for one program all share a single decode.
+
+Checkpoint / fork
+-----------------
+:meth:`Machine.snapshot` captures a frozen mid-run copy of the whole
+execution state - threads/frames/registers, shared memory, lock owners,
+environment cursors and RNG stream position, scheduler state, the meter,
+and the trace watermark.  :meth:`Machine.fork` returns a *runnable* copy;
+a fork continues byte-for-byte identically to the original (the golden
+fingerprint tests pin this).  Replay search uses checkpoints to resume
+candidate executions at the last shared input-consumption point instead
+of re-executing the common prefix.
+
+Lightweight execution modes
+---------------------------
+``trace_mode="counting"`` runs the identical execution but allocates no
+:class:`~repro.vm.trace.StepRecord` per step: a single scratch record is
+reused for dispatch/observers, only counts, the failure signature, the
+output log, and per-thread branch paths survive.  Candidate runs in an
+inference search use this mode; the one accepted execution is re-run
+once with full tracing.  ``max_native_cycles`` bounds a run by metered
+cycles (search budgets enforce their ceiling *inside* the candidate run)
+and the ``early_abort`` hook lets searches kill a candidate at its first
+divergent I/O event.
 """
 
 from __future__ import annotations
@@ -42,19 +65,26 @@ from repro.vm.memory import (OutOfBoundsAccess, SharedMemory, array_loc,
 from repro.vm.program import Function, Program
 from repro.vm.scheduler import RoundRobinScheduler, Scheduler
 from repro.vm.thread import Frame, ThreadState, ThreadStatus
-from repro.vm.trace import StepRecord, Trace
+from repro.vm.trace import _NO_EFFECTS, StepRecord, Trace
 
 # Sentinel returned by interceptors that decline to override a value.
 INTERCEPT_MISS = object()
 
 LoadInterceptor = Callable[[int, tuple, Callable[[], int]], Any]
 IoInterceptor = Callable[[int, str, str, Callable[[], Any]], Any]
+# Early-abort hook: called after every executed I/O step; returning True
+# stops the run (the caller promises it would reject the run anyway).
+EarlyAbort = Callable[["Machine", StepRecord], bool]
 
 # Backwards-compatible alias (symbolic execution resolves binary opcodes
 # through the interpreter module).
 _BINARY_FUNCS = BINARY_FUNCS
 
 _BLOCKED = object()
+
+# "No cycle ceiling" sentinel: an int far above any metered run, so the
+# run loop's ceiling test is a single integer comparison (no None check).
+_NO_CYCLE_CAP = 1 << 62
 
 
 class _UndefinedRegister(Exception):
@@ -562,7 +592,11 @@ class Machine:
                  io_spec: Optional[IOSpec] = None,
                  max_steps: int = 2_000_000,
                  stop_on_failure: bool = True,
-                 entry_args: Sequence[Any] = ()):
+                 entry_args: Sequence[Any] = (),
+                 trace_mode: str = "full",
+                 max_native_cycles: Optional[int] = None):
+        if trace_mode not in ("full", "counting"):
+            raise MachineError(f"unknown trace_mode {trace_mode!r}")
         self.program = program
         self.env = env or Environment()
         self.env.attach(self)
@@ -581,11 +615,28 @@ class Machine:
         self.failure: Optional[FailureReport] = None
         self.halted = False
         self.hit_step_limit = False
+        self.hit_cycle_limit = False
+        self.aborted = False
         self.steps = 0
+
+        # Counting mode reuses one scratch record per step instead of
+        # allocating; the record is valid only for the duration of the
+        # dispatch/observer calls it is passed to.  The per-mode step
+        # function is bound once so the full-trace path pays nothing for
+        # the mode check.
+        self.trace_mode = trace_mode
+        self._counting = trace_mode == "counting"
+        self._scratch = (StepRecord(0, 0, "", 0, "", 0)
+                         if self._counting else None)
+        self._step = (self._step_counting if self._counting
+                      else self._step_full)
+        # Absolute ceiling on metered native cycles (None = unlimited).
+        self.max_native_cycles = max_native_cycles
 
         self._observers: List[Callable[["Machine", StepRecord], None]] = []
         self.load_interceptor: Optional[LoadInterceptor] = None
         self.io_interceptor: Optional[IoInterceptor] = None
+        self.early_abort: Optional[EarlyAbort] = None
 
         # Incrementally maintained scheduling state: the sorted runnable
         # tid list and the live-thread count replace per-step scans.
@@ -601,6 +652,20 @@ class Machine:
 
         self._next_tid = 0
         self._spawn_thread(program.entry, list(entry_args))
+
+    # -- cycle ceiling ----------------------------------------------------
+    #
+    # Stored internally as an always-int sentinel so the per-iteration
+    # ceiling test in ``_finished`` is one integer comparison.
+
+    @property
+    def max_native_cycles(self) -> Optional[int]:
+        cap = self._cycle_ceiling
+        return None if cap >= _NO_CYCLE_CAP else cap
+
+    @max_native_cycles.setter
+    def max_native_cycles(self, value: Optional[int]) -> None:
+        self._cycle_ceiling = _NO_CYCLE_CAP if value is None else value
 
     # -- public surface ---------------------------------------------------
 
@@ -631,7 +696,7 @@ class Machine:
         return frame.function.body[frame.pc]
 
     def run(self) -> "Machine":
-        """Run to completion, failure, deadlock, or the step limit."""
+        """Run to completion, failure, deadlock, or a limit/abort."""
         while not self._finished():
             if not self._runnable:
                 self._report_deadlock()
@@ -644,6 +709,93 @@ class Machine:
             self._step(tid)
         self._finalize()
         return self
+
+    def advance(self, max_new_steps: int) -> "Machine":
+        """Execute at most ``max_new_steps`` more steps, then pause.
+
+        Unlike :meth:`run` this does not finalize the run: the machine
+        can be snapshotted/forked here and continued later with ``run()``.
+        """
+        target = self.steps + max_new_steps
+        while self.steps < target and not self._finished():
+            if not self._runnable:
+                self._report_deadlock()
+                break
+            tid = self.scheduler.pick(self)
+            thread = self.threads.get(tid)
+            if thread is None or not thread.is_runnable:
+                raise MachineError(
+                    f"scheduler picked non-runnable thread {tid}")
+            self._step(tid)
+        return self
+
+    def snapshot(self) -> "Machine":
+        """A frozen checkpoint of the current execution state.
+
+        The returned machine is a complete mid-run copy - threads,
+        frames, registers, shared memory, lock owners, environment
+        (pending/consumed inputs, outputs, RNG stream position),
+        scheduler state, meter, and trace watermark.  Hold it as a
+        checkpoint and :meth:`fork` it (possibly repeatedly) to resume
+        from this point; running the snapshot itself consumes it.
+
+        Observers are *not* carried over (they reference the parent run);
+        interceptors and the early-abort hook are shared by reference.
+        Schedulers must implement ``clone()`` for exact state transfer
+        (all library schedulers do; the base class falls back to a deep
+        copy).
+        """
+        return self._clone()
+
+    def fork(self) -> "Machine":
+        """A runnable copy that continues deterministically from here.
+
+        Forked at step 0 (or anywhere else), the copy's remaining
+        execution is byte-for-byte identical to the original's - same
+        steps, schedule, failure, outputs, and metered cycles - which the
+        golden-trace fingerprint tests pin.
+        """
+        return self._clone()
+
+    def _clone(self) -> "Machine":
+        twin = Machine.__new__(Machine)
+        twin.program = self.program
+        twin.env = self.env.fork()
+        twin.env.attach(twin)
+        twin.scheduler = self.scheduler.clone()
+        twin.cost_model = self.cost_model
+        twin.io_spec = self.io_spec
+        twin.max_steps = self.max_steps
+        twin.stop_on_failure = self.stop_on_failure
+        twin.memory = self.memory.clone()
+        twin.threads = {tid: thread.clone()
+                        for tid, thread in self.threads.items()}
+        twin.lock_owners = dict(self.lock_owners)
+        twin.meter = self.meter.clone()
+        twin.trace = self.trace.fork()
+        twin.failure = self.failure
+        twin.halted = self.halted
+        twin.hit_step_limit = self.hit_step_limit
+        twin.hit_cycle_limit = self.hit_cycle_limit
+        twin.aborted = self.aborted
+        twin.steps = self.steps
+        twin.trace_mode = self.trace_mode
+        twin._counting = self._counting
+        twin._scratch = (StepRecord(0, 0, "", 0, "", 0)
+                         if self._counting else None)
+        twin._step = (twin._step_counting if twin._counting
+                      else twin._step_full)
+        twin._cycle_ceiling = self._cycle_ceiling
+        twin._observers = []
+        twin.load_interceptor = self.load_interceptor
+        twin.io_interceptor = self.io_interceptor
+        twin.early_abort = self.early_abort
+        twin._runnable = list(self._runnable)
+        twin._live_count = self._live_count
+        twin._fn_costs = self._fn_costs
+        twin._ret_cost = self._ret_cost
+        twin._next_tid = self._next_tid
+        return twin
 
     def core_dump(self) -> CoreDump:
         """What a failure-deterministic recorder ships to the developer."""
@@ -659,16 +811,28 @@ class Machine:
 
     def _finished(self) -> bool:
         if self.halted:
+            # Also set by the early-abort hook: an aborted run stops
+            # immediately (self.aborted distinguishes the two).
             return True
         if self.failure is not None and self.stop_on_failure:
             return True
         if self.steps >= self.max_steps:
             self.hit_step_limit = True
             return True
-        return self._live_count == 0
+        if self._live_count == 0:
+            return True
+        if self.meter.native_cycles >= self._cycle_ceiling:
+            # Checked after the completion conditions so a run that
+            # *finishes* exactly at the ceiling is not marked truncated.
+            self.hit_cycle_limit = True
+            return True
+        return False
 
     def _finalize(self) -> None:
-        if self.failure is None and self.io_spec is not None:
+        if (self.failure is None and self.io_spec is not None
+                and not self.aborted):
+            # Aborted runs are rejected by construction; judging partial
+            # outputs against the spec would fabricate failures.
             self.failure = self.io_spec.check(self.env.outputs,
                                               self.env.inputs_consumed)
         self.trace.outputs = {k: list(v) for k, v in self.env.outputs.items()}
@@ -676,6 +840,8 @@ class Machine:
             k: list(v) for k, v in self.env.inputs_consumed.items()}
         self.trace.failure = self.failure
         self.trace.native_cycles = self.meter.native_cycles
+        if self._counting:
+            self.trace.total_steps = self.steps
 
     def _report_deadlock(self) -> None:
         blocked = [t for t in self.threads.values() if t.is_live]
@@ -737,7 +903,12 @@ class Machine:
 
     # -- instruction execution ----------------------------------------------
 
-    def _step(self, tid: int) -> Optional[StepRecord]:
+    # ``self._step`` is bound to one of the two variants below at
+    # construction time, so the full-trace hot path carries no mode
+    # branches.  Keep the two bodies in lockstep: they must execute the
+    # identical guest semantics (the counting-equivalence tests pin this).
+
+    def _step_full(self, tid: int) -> Optional[StepRecord]:
         thread = self.threads[tid]
         frame = thread.frames[-1]
         fn = frame.function
@@ -778,7 +949,75 @@ class Machine:
         self.scheduler.notify(record)
         for observer in self._observers:
             observer(self, record)
+        if record.io is not None:
+            self._check_abort(record)
         return record
+
+    def _step_counting(self, tid: int) -> Optional[StepRecord]:
+        """Trace-free variant: identical semantics, no StepRecord kept.
+
+        One scratch record is reset and reused for dispatch, scheduler
+        notification, and observers; only counts, branch paths, outputs
+        (on the environment), and the failure signature survive the step.
+        """
+        thread = self.threads[tid]
+        frame = thread.frames[-1]
+        fn = frame.function
+        cache = fn.decode_cache
+        if cache is None or cache[0] is not self.program:
+            decoded = decode_function(fn, self.program)
+        else:
+            decoded = cache[1]
+        pc = frame.pc
+        record = self._scratch
+        record.index = self.steps
+        record.tid = tid
+        record.function = fn.name
+        record.pc = pc
+        record.reads = _NO_EFFECTS
+        record.writes = _NO_EFFECTS
+        record.sync = None
+        record.io = None
+        record.branch_taken = None
+        if pc >= len(decoded):
+            record.op = "ret"
+            record.cost = self._ret_cost
+            self._do_return(thread, 0)
+        else:
+            op, handler = decoded[pc]
+            record.op = op
+            record.cost = self._fn_costs[fn.name][pc]
+            try:
+                executed = handler(self, thread, frame, record)
+            except OutOfBoundsAccess as oob:
+                self._guest_failure(thread, FailureKind.OUT_OF_BOUNDS,
+                                    str(oob))
+                return None
+            except _UndefinedRegister as undef:
+                raise MachineError(
+                    f"thread {tid}: read of undefined register "
+                    f"%{undef.name} in {fn.name}") from None
+            if not executed:
+                return None  # thread blocked or failed; no step happened
+        self.steps += 1
+        self.meter.native_cycles += record.cost
+        if record.branch_taken is not None:
+            self.trace.record_branch(tid, record.branch_taken)
+        thread.steps_executed += 1
+        self.scheduler.notify(record)
+        for observer in self._observers:
+            observer(self, record)
+        if record.io is not None:
+            self._check_abort(record)
+        return record
+
+    def _check_abort(self, record: StepRecord) -> None:
+        early_abort = self.early_abort
+        if early_abort is not None and early_abort(self, record):
+            # Halting is how the run loop stops immediately; ``aborted``
+            # distinguishes a killed candidate from a real ``halt``.
+            self.aborted = True
+            self.halted = True
 
     def _consume_input(self, thread: ThreadState, channel: str):
         if not self.env.has_input(channel):

@@ -83,6 +83,14 @@ class SharedMemory:
                        for name, cells in self._arrays.items()},
         }
 
+    def clone(self) -> "SharedMemory":
+        """A deep copy of the full shared state (machine snapshot/fork)."""
+        twin = SharedMemory.__new__(SharedMemory)
+        twin._globals = dict(self._globals)
+        twin._arrays = {name: list(cells)
+                        for name, cells in self._arrays.items()}
+        return twin
+
     def _array(self, name: str) -> List[int]:
         if name not in self._arrays:
             raise MachineError(f"undeclared array {name!r}")

@@ -13,6 +13,7 @@ calls ``notify(step)`` so stateful schedulers can advance.
 
 from __future__ import annotations
 
+import copy
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReplayDivergenceError, SchedulerError
@@ -34,6 +35,17 @@ class Scheduler:
     def fork(self) -> "Scheduler":
         """Return a fresh scheduler with identical initial behaviour."""
         raise NotImplementedError
+
+    def clone(self) -> "Scheduler":
+        """Return a copy that continues from the *current* state.
+
+        Unlike :meth:`fork` (which rewinds to the initial state), a clone
+        is a mid-run checkpoint: the copy makes exactly the decisions the
+        original would make from here on.  Machine snapshot/fork relies on
+        this.  The default is a deep copy; schedulers holding references
+        to external mutable state should override.
+        """
+        return copy.deepcopy(self)
 
 
 class RoundRobinScheduler(Scheduler):
@@ -68,6 +80,12 @@ class RoundRobinScheduler(Scheduler):
     def fork(self) -> "RoundRobinScheduler":
         return RoundRobinScheduler(self.quantum)
 
+    def clone(self) -> "RoundRobinScheduler":
+        twin = RoundRobinScheduler(self.quantum)
+        twin._current = self._current
+        twin._remaining = self._remaining
+        return twin
+
 
 class RandomScheduler(Scheduler):
     """Seeded preemptive scheduler modelling production non-determinism.
@@ -97,6 +115,12 @@ class RandomScheduler(Scheduler):
 
     def fork(self) -> "RandomScheduler":
         return RandomScheduler(self.seed, self.switch_prob)
+
+    def clone(self) -> "RandomScheduler":
+        twin = RandomScheduler(self.seed, self.switch_prob)
+        twin._rng = self._rng.clone()
+        twin._current = self._current
+        return twin
 
 
 class FixedScheduler(Scheduler):
@@ -136,6 +160,12 @@ class FixedScheduler(Scheduler):
 
     def fork(self) -> "FixedScheduler":
         return FixedScheduler(self.schedule, self.strict)
+
+    def clone(self) -> "FixedScheduler":
+        twin = FixedScheduler(self.schedule, self.strict)
+        twin._index = self._index
+        twin._fallback = self._fallback.clone()
+        return twin
 
 
 class SyncOrderScheduler(Scheduler):
@@ -190,6 +220,11 @@ class SyncOrderScheduler(Scheduler):
 
     def fork(self) -> "SyncOrderScheduler":
         return SyncOrderScheduler(self.sync_order, self._inner.fork())
+
+    def clone(self) -> "SyncOrderScheduler":
+        twin = SyncOrderScheduler(self.sync_order, self._inner.clone())
+        twin._index = self._index
+        return twin
 
 
 class _Restricted:

@@ -40,6 +40,12 @@ class Frame:
         # Register in the *caller's* frame receiving this call's return value.
         self.return_register = return_register
 
+    def clone(self) -> "Frame":
+        """A copy for machine snapshot/fork: the function object is shared
+        (immutable + decode cache), registers are copied by value."""
+        return Frame(self.function, self.pc, dict(self.registers),
+                     self.return_register)
+
     def __repr__(self) -> str:
         return (f"Frame({self.function.name}@{self.pc}, "
                 f"regs={self.registers!r})")
@@ -85,6 +91,17 @@ class ThreadState:
     def unblock(self) -> None:
         self.status = ThreadStatus.RUNNABLE
         self.blocked_on = None
+
+    def clone(self) -> "ThreadState":
+        """A mid-run copy of this thread (machine snapshot/fork)."""
+        twin = ThreadState.__new__(ThreadState)
+        twin.tid = self.tid
+        twin.frames = [frame.clone() for frame in self.frames]
+        twin.status = self.status
+        twin.blocked_on = self.blocked_on
+        twin.return_value = self.return_value
+        twin.steps_executed = self.steps_executed
+        return twin
 
     def __repr__(self) -> str:
         where = (f"{self.frame.function.name}@{self.frame.pc}"

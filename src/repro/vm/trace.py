@@ -141,6 +141,44 @@ class Trace:
         self.schedule.append(step.tid)
         self.total_steps += 1
 
+    def record_branch(self, tid: int, taken: bool) -> None:
+        """Record a branch outcome without a step (counting-mode runs).
+
+        Counting-mode machines keep no step records but still log the
+        per-thread branch paths, which output-deterministic replay needs
+        to judge candidates (:meth:`thread_branch_paths`).
+        """
+        path = self._branch_paths.get(tid)
+        if path is None:
+            path = self._branch_paths[tid] = []
+        path.append(taken)
+
+    def fork(self) -> "Trace":
+        """A mid-run copy for machine snapshot/fork.
+
+        Step records are immutable once appended, so the copy shares them
+        and only the list spines are duplicated; lazy indexes rebuild on
+        first query.  For trace-free (counting) traces the out-of-band
+        branch paths are copied instead - they are the only per-step state
+        such traces carry.
+        """
+        twin = Trace(
+            steps=list(self.steps),
+            schedule=list(self.schedule),
+            outputs={k: list(v) for k, v in self.outputs.items()},
+            inputs_consumed={k: list(v)
+                             for k, v in self.inputs_consumed.items()},
+            failure=self.failure,
+            native_cycles=self.native_cycles,
+            total_steps=self.total_steps,
+        )
+        if not self.steps and self._branch_paths:
+            # Counting-mode trace: branch paths were recorded out of band
+            # (with steps present they rebuild lazily from the step list).
+            twin._branch_paths = {tid: list(path)
+                                  for tid, path in self._branch_paths.items()}
+        return twin
+
     # -- lazy index maintenance -----------------------------------------
 
     def _extend_indexes(self) -> None:
