@@ -4,13 +4,17 @@ Commands
 --------
 ``experiments``            list the registered paper experiments
 ``run <experiment-id>``    run one experiment and print its table(s)
-``apps``                   list the bug corpus
+``apps``                   list the hand-written bug corpus
 ``demo <app> [--model M]`` record + replay one corpus bug under a model
+``corpus list|show|run``   the generated scenario corpus: list cases for
+                           a seed range, show one generated program, or
+                           run the full (case x model) matrix in
+                           parallel workers and write CORPUS_results.json
 ``bench``                  run the substrate benchmarks, print the
                            steps/sec tables, write BENCH_interpreter.json
-                           (``--section interpreter|trace|search`` picks a
-                           subset; unmeasured sections keep their last
-                           recorded values in the summary)
+                           (``--section interpreter|trace|search|corpus``
+                           picks a subset; unmeasured sections keep their
+                           last recorded values in the summary)
 """
 
 from __future__ import annotations
@@ -64,6 +68,37 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_corpus(args) -> int:
+    from repro.corpus import generate_case, generate_corpus
+    from repro.corpus.matrix import (corpus_case_table, corpus_tables,
+                                     run_matrix)
+    if args.corpus_command == "list":
+        print(corpus_case_table(generate_corpus(range(args.seeds))).render())
+        return 0
+    if args.corpus_command == "show":
+        case = generate_case(args.seed)
+        print(f"// {case.name}: {case.description}")
+        print(f"// ground truth: {case.known_cause}  "
+              f"(failing seed {case.failing_seed})")
+        print(case.source)
+        return 0
+    models = tuple(args.models.split(",")) if args.models else None
+    results = run_matrix(range(args.seeds),
+                         **({"models": models} if models else {}),
+                         jobs=args.jobs, path=args.output)
+    cells, summary = corpus_tables(results)
+    print(cells.render())
+    print()
+    print(summary.render())
+    timing = results["timing"]
+    print(f"\n{timing['cells']} cells in "
+          f"{timing['record_seconds'] + timing['replay_seconds']:.2f}s "
+          f"(record {timing['record_seconds']:.2f}s, "
+          f"replay {timing['replay_seconds']:.2f}s, jobs={args.jobs})")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.harness.bench import run_bench
     tables = run_bench(path=args.output, repeats=args.repeats,
@@ -96,6 +131,32 @@ def main(argv=None) -> int:
                              choices=["full", "value", "output",
                                       "failure", "rcse"])
     demo_parser.set_defaults(func=_cmd_demo)
+    corpus_parser = commands.add_parser(
+        "corpus", help="generated scenario corpus: list, show, or run the "
+                       "(case x model) experiment matrix")
+    corpus_commands = corpus_parser.add_subparsers(dest="corpus_command",
+                                                   required=True)
+    corpus_list = corpus_commands.add_parser(
+        "list", help="list generated cases for a seed range")
+    corpus_list.add_argument("--seeds", type=int, default=12,
+                             help="generate cases for seeds 0..N-1")
+    corpus_show = corpus_commands.add_parser(
+        "show", help="print one generated program and its ground truth")
+    corpus_show.add_argument("--seed", type=int, default=0)
+    corpus_run = corpus_commands.add_parser(
+        "run", help="evaluate the (case x model) matrix in parallel "
+                    "workers and write the results artifact")
+    corpus_run.add_argument("--seeds", type=int, default=20,
+                            help="evaluate cases for seeds 0..N-1")
+    corpus_run.add_argument("--jobs", type=int, default=1,
+                            help="parallel worker processes")
+    corpus_run.add_argument("--models", default=None,
+                            help="comma-separated model subset "
+                                 "(default: all five)")
+    corpus_run.add_argument("--output", default="CORPUS_results.json",
+                            help="where to write the results artifact")
+    corpus_parser.set_defaults(func=_cmd_corpus)
+
     bench_parser = commands.add_parser(
         "bench", help="run substrate benchmarks and print steps/sec tables")
     bench_parser.add_argument("--output", default="BENCH_interpreter.json",
@@ -103,7 +164,8 @@ def main(argv=None) -> int:
     bench_parser.add_argument("--repeats", type=int, default=3,
                               help="timing repetitions per workload")
     bench_parser.add_argument("--section", action="append",
-                              choices=["interpreter", "trace", "search"],
+                              choices=["interpreter", "trace", "search",
+                                       "corpus"],
                               help="run only the named section(s); "
                                    "repeatable (default: all)")
     bench_parser.set_defaults(func=_cmd_bench)

@@ -19,6 +19,10 @@ App                Paper scenario
 =================  ==========================================================
 
 Each app exports an :class:`~repro.apps.base.AppCase` via ``make_case()``.
+
+These hand-written cases pin the paper's parables; the *generated*
+scenario corpus (:mod:`repro.corpus`) scales the same ``AppCase`` shape
+to arbitrarily many seeded bugs across six planted classes.
 """
 
 from repro.apps.base import AppCase, find_failing_seed

@@ -53,6 +53,14 @@ class AppCase:
             max_steps=max_steps,
         )
 
+    def run_digest(self, seed: int) -> str:
+        """SHA-256 fingerprint of one production run's full behaviour.
+
+        The corpus generator pins each generated case's failing run with
+        this digest; determinism tests compare it across regenerations.
+        """
+        return self.run(seed).trace.fingerprint()
+
 
 def find_failing_seed(case: AppCase, seeds=range(200),
                       accept: Optional[Callable[[Machine], bool]] = None

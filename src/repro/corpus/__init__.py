@@ -1,0 +1,27 @@
+"""Seeded scenario corpus: generated buggy guests at arbitrary scale.
+
+The hand-written apps in :mod:`repro.apps` pin the paper's parables; this
+package grows the *workload axis*: a deterministic, seed-driven generator
+(:mod:`repro.corpus.generator`) emits MiniLang programs with planted bug
+classes - data race, atomicity violation, deadlock, order violation,
+input-dependent crash, lost output - each wrapped as a standard
+:class:`~repro.apps.base.AppCase` that carries its ground-truth root
+cause, and a matrix runner (:mod:`repro.corpus.matrix`) that evaluates
+every (generated case x determinism model) cell in parallel worker
+processes, shipping recordings between processes through the JSON log
+serializer exactly like production logs ship to developer workstations.
+
+More seeds = more scenarios; more jobs = more cores.  Same seeds = the
+same corpus, byte for byte.
+"""
+
+from repro.corpus.generator import (BUG_CLASSES, GeneratedCase,
+                                    generate_case, generate_corpus)
+from repro.corpus.matrix import (CORPUS_RESULTS_PATH, corpus_tables,
+                                 run_corpus_experiment, run_matrix)
+
+__all__ = [
+    "BUG_CLASSES", "GeneratedCase", "generate_case", "generate_corpus",
+    "CORPUS_RESULTS_PATH", "corpus_tables", "run_corpus_experiment",
+    "run_matrix",
+]

@@ -1,0 +1,224 @@
+"""The (generated case x determinism model) experiment matrix.
+
+``run_matrix`` evaluates every cell of a corpus sweep in parallel worker
+processes, in two phases that mirror how replay debugging is deployed:
+
+1. **Record** (the "production fleet"): each worker regenerates its
+   case from the corpus seed, runs the known-failing production run under
+   every determinism model's recorder, and returns the recordings as
+   JSON strings produced by :mod:`repro.record.serialize` - the logs
+   cross the process boundary exactly as production logs ship to
+   developer workstations.
+2. **Replay** (the "developer workstations"): workers receive the
+   serialized logs, decode them with the same serializer, replay each
+   one with its model's replayer, and score debugging fidelity against
+   the case's *ground-truth* root cause (no per-cell re-diagnosis of the
+   original run).
+
+Workers exchange recordings only through the serializer; everything else
+that crosses a process boundary is a corpus seed, a model name, or a
+plain metric row.  Cell rows are deterministic functions of (seed,
+model), so the same seeds produce an identical ``CORPUS_results.json``
+modulo the ``timing`` section.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from multiprocessing import Pool
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.corpus.generator import GeneratedCase, generate_case
+from repro.harness.experiments import (MODEL_ORDER, make_recorder,
+                                       score_recorded_log)
+from repro.metrics import summarize_model_rows
+from repro.record import log_from_dict, log_to_dict, record_run
+from repro.util.tables import Table
+
+CORPUS_RESULTS_PATH = "CORPUS_results.json"
+# Smaller than the hand-written apps' default: generated programs are
+# tiny and the sweep pays this per (case, failure), so keep ``n``
+# enumeration brisk.
+CORPUS_CAUSE_ATTEMPTS = 60
+
+
+# -- worker halves (top-level so they pickle by name) -------------------------
+
+
+def _record_task(task: Tuple[int, Tuple[str, ...]]
+                 ) -> Tuple[int, Dict[str, Any], List[Tuple[str, str]]]:
+    """Phase 1: record the failing production run under every model."""
+    seed, models = task
+    case = generate_case(seed)
+    payloads: List[Tuple[str, str]] = []
+    for model in models:
+        recorder = make_recorder(model, case)
+        log = record_run(
+            case.program, recorder,
+            inputs={k: list(v) for k, v in case.inputs.items()},
+            seed=case.failing_seed,
+            scheduler=case.production_scheduler(case.failing_seed),
+            io_spec=case.io_spec,
+            net_drop_rate=case.net_drop_rate)
+        if log.failure is None:
+            raise RuntimeError(
+                f"{case.name}: pinned failing seed {case.failing_seed} "
+                f"did not fail under {model} recording")
+        payloads.append((model, json.dumps(log_to_dict(log))))
+    return seed, case.provenance(), payloads
+
+
+def _replay_task(task: Tuple[int, List[Tuple[str, str]]]
+                 ) -> Tuple[int, List[Dict[str, Any]]]:
+    """Phase 2: decode each shipped log, replay it, score against truth.
+
+    One task carries *all* models of one seed so the expensive
+    cause-count enumeration is paid once per case per worker.
+    """
+    seed, payloads = task
+    case = generate_case(seed)
+    rows: List[Dict[str, Any]] = []
+    for model, payload in payloads:
+        log = log_from_dict(json.loads(payload))
+        metrics = score_recorded_log(
+            case, model, log,
+            original_cause=case.known_cause,  # ground truth, not re-diagnosis
+            cause_count_attempts=CORPUS_CAUSE_ATTEMPTS)
+        rows.append({
+            "seed": seed,
+            "case": case.name,
+            "bug_class": case.bug_class,
+            "model": model,
+            "overhead_x": round(metrics.overhead, 3),
+            "DF": round(metrics.fidelity, 3),
+            "DE": round(metrics.efficiency, 4),
+            "DU": round(metrics.utility, 4),
+            "failure_reproduced": metrics.failure_reproduced,
+            "truth_matched": case.known_cause.same_cause(
+                metrics.replay_cause),
+            "n_causes": metrics.n_causes,
+            "replay_cause": str(metrics.replay_cause or "-"),
+        })
+    return seed, rows
+
+
+def _map_tasks(worker, tasks: list, jobs: int) -> list:
+    """Run tasks in-order: sequentially, or on a worker pool."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    with Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(worker, tasks, chunksize=1)
+
+
+# -- the matrix ---------------------------------------------------------------
+
+
+def run_matrix(seeds: Iterable[int],
+               models: Sequence[str] = MODEL_ORDER,
+               jobs: int = 1,
+               path: Optional[str] = None) -> Dict[str, Any]:
+    """Evaluate every (generated case x model) cell; aggregate per model.
+
+    Returns the full results dict (and writes it to ``path`` as JSON when
+    given).  Everything outside the ``timing`` section is a deterministic
+    function of (seeds, models).
+    """
+    seed_list = sorted(set(seeds))
+    unknown = [m for m in models if m not in MODEL_ORDER]
+    if unknown:
+        raise ValueError(f"unknown determinism models: {unknown}")
+    models = tuple(models)
+
+    started = time.perf_counter()
+    recorded = _map_tasks(_record_task,
+                          [(seed, models) for seed in seed_list], jobs)
+    record_seconds = time.perf_counter() - started
+
+    replay_started = time.perf_counter()
+    replayed = _map_tasks(_replay_task,
+                          [(seed, payloads)
+                           for seed, __, payloads in recorded], jobs)
+    replay_seconds = time.perf_counter() - replay_started
+
+    rows = [row for __, seed_rows in replayed for row in seed_rows]
+    summary = summarize_model_rows(rows, models)
+    for agg in summary.values():
+        # The paper's trade-off in one number: how much debugging utility
+        # a model buys per unit of recording overhead it charges.
+        agg["DU_per_x"] = round(agg["mean_DU"] / agg["mean_overhead_x"], 4)
+    results = {
+        "artifact": "corpus-matrix",
+        "config": {"seeds": seed_list, "models": list(models), "jobs": jobs},
+        "cases": [meta for __, meta, __p in recorded],
+        "matrix": rows,
+        "summary": summary,
+        "sweet_spot": _sweet_spot(summary),
+        "timing": {  # excluded from determinism comparisons
+            "record_seconds": round(record_seconds, 3),
+            "replay_seconds": round(replay_seconds, 3),
+            "cells": len(rows),
+        },
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+    return results
+
+
+def _sweet_spot(summary: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """The model maximizing utility per unit of recording overhead.
+
+    This is §3's sweet-spot criterion made explicit: high debugging
+    utility *at* low recording overhead, not utility alone (which the
+    full-determinism model trivially maximizes by paying the most).
+    Ties break toward higher absolute utility.
+    """
+    if not summary:
+        return {}
+    best = min(summary.items(),
+               key=lambda item: (-item[1]["DU_per_x"],
+                                 -item[1]["mean_DU"]))
+    return {"model": best[0], **best[1]}
+
+
+# -- presentation -------------------------------------------------------------
+
+
+def corpus_tables(results: Dict[str, Any]) -> Tuple[Table, Table]:
+    """Render a results dict as (per-cell table, per-model summary)."""
+    cells = Table(["seed", "case", "bug_class", "model", "overhead_x",
+                   "DF", "DE", "DU", "failure_reproduced", "truth_matched"],
+                  title="Corpus matrix - per-cell determinism comparison")
+    for row in results["matrix"]:
+        cells.add_row(**{c: row[c] for c in cells.columns})
+    sweet = results.get("sweet_spot", {}).get("model")
+    summary = Table(["model", "cells", "mean_overhead_x", "mean_DF",
+                     "mean_DE", "mean_DU", "DU_per_x", "reproduced",
+                     "sweet_spot"],
+                    title="Corpus matrix - sweet-spot summary "
+                          "(per-model averages)")
+    for model, agg in results["summary"].items():
+        summary.add_row(model=model, sweet_spot=(model == sweet), **agg)
+    return cells, summary
+
+
+def corpus_case_table(cases: Iterable[GeneratedCase]) -> Table:
+    """Render generated cases (``corpus list``)."""
+    table = Table(["seed", "name", "bug_class", "failing_seed",
+                   "ground_truth", "description"],
+                  title="Generated scenario corpus")
+    for case in cases:
+        table.add_row(seed=case.corpus_seed, name=case.name,
+                      bug_class=case.bug_class,
+                      failing_seed=case.failing_seed,
+                      ground_truth=str(case.known_cause),
+                      description=case.description)
+    return table
+
+
+def run_corpus_experiment() -> Tuple[Table, Table]:
+    """The registry entry: a small parallel sweep over all six classes."""
+    results = run_matrix(range(6), models=MODEL_ORDER, jobs=2)
+    return corpus_tables(results)

@@ -20,6 +20,11 @@ The ``search`` section measures inference-search throughput
 pre-PR-2 configuration (every candidate re-executed from step 0 with
 full tracing) against trace-free candidates and the full checkpoint +
 prune pipeline.
+
+The ``corpus`` section measures scenario-matrix throughput (evaluated
+cells/sec) on a small generated-corpus sweep, sequentially and with a
+2-worker pool - the number that bounds how many generated scenarios a
+full sweep can score per second.
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from repro.vm import RandomScheduler, assemble, run_program
 from repro.vm.trace import StepRecord, Trace
 
 BENCH_SUMMARY_PATH = "BENCH_interpreter.json"
-BENCH_SECTIONS = ("interpreter", "trace", "search")
+BENCH_SECTIONS = ("interpreter", "trace", "search", "corpus")
 
 COUNTER_SRC = """
 global counter = 0
@@ -348,10 +353,47 @@ def bench_search(repeats: int = 3) -> Table:
     return table
 
 
+# -- corpus-matrix throughput -------------------------------------------------
+
+CORPUS_BENCH_SEEDS = 6
+CORPUS_BENCH_MODELS = ("full", "failure", "rcse")
+CORPUS_BENCH_JOBS = (1, 2)
+
+
+def bench_corpus(repeats: int = 3) -> Table:
+    """Matrix cells/sec on a small corpus sweep, per worker count."""
+    # Imported lazily: repro.corpus.matrix imports this package.
+    from repro.corpus.matrix import run_matrix
+    table = Table(["jobs", "seeds", "cells", "seconds", "cells_per_sec"],
+                  title="Corpus matrix throughput (generated scenarios)")
+    seeds = range(CORPUS_BENCH_SEEDS)
+    # Warmup: fills this process's generation cache and decode caches so
+    # the jobs=1 timing measures evaluation, not first-touch setup.
+    run_matrix(seeds, models=CORPUS_BENCH_MODELS, jobs=1)
+    for jobs in CORPUS_BENCH_JOBS:
+        best_rate = 0.0
+        best_seconds = 0.0
+        cells = 0
+        for __ in range(max(1, repeats)):
+            start = time.perf_counter()
+            results = run_matrix(seeds, models=CORPUS_BENCH_MODELS,
+                                 jobs=jobs)
+            elapsed = time.perf_counter() - start
+            cells = results["timing"]["cells"]
+            rate = cells / elapsed if elapsed > 0 else float("inf")
+            if rate > best_rate:
+                best_rate = rate
+                best_seconds = elapsed
+        table.add_row(jobs=jobs, seeds=CORPUS_BENCH_SEEDS, cells=cells,
+                      seconds=best_seconds, cells_per_sec=round(best_rate))
+    return table
+
+
 def write_summary(interpreter: Optional[Table] = None,
                   queries: Optional[Table] = None,
                   path: str = BENCH_SUMMARY_PATH,
-                  search: Optional[Table] = None) -> Dict[str, Any]:
+                  search: Optional[Table] = None,
+                  corpus: Optional[Table] = None) -> Dict[str, Any]:
     """Write the machine-readable perf summary tracked across PRs.
 
     Sections not measured this run (``None``) are carried over from the
@@ -361,7 +403,7 @@ def write_summary(interpreter: Optional[Table] = None,
     try:
         with open(path, "r", encoding="utf-8") as handle:
             previous = json.load(handle)
-        for key in ("workloads", "trace_queries", "search"):
+        for key in ("workloads", "trace_queries", "search", "corpus"):
             if key in previous:
                 summary[key] = previous[key]
     except (OSError, ValueError):
@@ -382,6 +424,11 @@ def write_summary(interpreter: Optional[Table] = None,
             "candidates_per_sec": row["candidates_per_sec"],
             "speedup_vs_full": row["speedup_vs_full"],
         } for row in search}
+    if corpus is not None:
+        summary["corpus"] = {f"jobs_{row['jobs']}": {
+            "cells": row["cells"],
+            "cells_per_sec": row["cells_per_sec"],
+        } for row in corpus}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -397,7 +444,7 @@ def run_bench(path: str = BENCH_SUMMARY_PATH,
     if unknown:
         raise ValueError(f"unknown bench sections: {sorted(unknown)}")
     tables: List[Table] = []
-    interpreter = queries = search = None
+    interpreter = queries = search = corpus = None
     if "interpreter" in selected:
         interpreter = bench_interpreter(repeats=repeats)
         tables.append(interpreter)
@@ -407,5 +454,9 @@ def run_bench(path: str = BENCH_SUMMARY_PATH,
     if "search" in selected:
         search = bench_search(repeats=repeats)
         tables.append(search)
-    write_summary(interpreter, queries, path=path, search=search)
+    if "corpus" in selected:
+        corpus = bench_corpus(repeats=repeats)
+        tables.append(corpus)
+    write_summary(interpreter, queries, path=path, search=search,
+                  corpus=corpus)
     return tables

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.analysis.rootcause import (Diagnoser, enumerate_root_causes)
+from repro.analysis.rootcause import (Diagnoser, RootCause,
+                                      enumerate_root_causes)
 from repro.analysis.triggers import RaceTrigger
 from repro.apps.base import AppCase, find_failing_seed
 from repro.metrics import DebuggingMetrics, evaluate_replay
@@ -60,15 +62,27 @@ def make_replayer(model: str, case: AppCase, log):
     raise ValueError(f"unknown model {model!r}")
 
 
-_CAUSE_COUNT_CACHE: Dict[Tuple[str, str], int] = {}
+# Cause-count memoization, keyed by *program identity* - never by case
+# name.  Generated corpus cases are legion and freely share names across
+# seeds; a name-keyed cache would let one case poison another's ``n``.
+# The outer WeakKeyDictionary drops a program's entries when the program
+# itself is collected, so a long corpus sweep does not accumulate counts
+# for dead cases.
+_CAUSE_COUNT_CACHE: ("weakref.WeakKeyDictionary"
+                     "[object, Dict[Tuple, int]]") = (
+    weakref.WeakKeyDictionary())
 
 
 def count_root_causes(case: AppCase, failure,
                       max_attempts: int = 120) -> int:
     """The paper's ``n``: distinct root causes reachable for a failure."""
-    key = (case.name, failure.location)
-    if key in _CAUSE_COUNT_CACHE:
-        return _CAUSE_COUNT_CACHE[key]
+    per_program = _CAUSE_COUNT_CACHE.get(case.program)
+    if per_program is None:
+        per_program = {}
+        _CAUSE_COUNT_CACHE[case.program] = per_program
+    key = (failure.signature(), max_attempts)
+    if key in per_program:
+        return per_program[key]
     search = ExecutionSearch(
         case.program, case.input_space, schedule_seeds=range(24),
         io_spec=case.io_spec, net_drop_rate=case.net_drop_rate,
@@ -78,15 +92,49 @@ def count_root_causes(case: AppCase, failure,
         diagnoser=Diagnoser(extra_rules=case.diagnoser_rules),
         budget=SearchBudget(max_attempts=max_attempts))
     count = max(len(causes), 1)
-    _CAUSE_COUNT_CACHE[key] = count
+    per_program[key] = count
     return count
+
+
+def score_recorded_log(case: AppCase, model: str, log,
+                       original_cause: Optional[RootCause],
+                       cause_count_attempts: int = 120
+                       ) -> DebuggingMetrics:
+    """Replay a recorded failing log and score it against a known cause.
+
+    The shared replay-side half of a cell evaluation: both
+    :func:`evaluate_app_model` (which records in-process) and the corpus
+    matrix's worker processes (which receive serializer-shipped logs)
+    score through this one path.
+    """
+    replayer = make_replayer(model, case, log)
+    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
+    n_causes = count_root_causes(case, log.failure,
+                                 max_attempts=cause_count_attempts)
+    return evaluate_replay(
+        model=model,
+        overhead=log.overhead_factor,
+        original_failure=log.failure,
+        original_cause=original_cause,
+        original_cycles=log.native_cycles,
+        replay=replay,
+        n_causes=n_causes,
+        diagnoser=Diagnoser(extra_rules=case.diagnoser_rules),
+    )
 
 
 def evaluate_app_model(case: AppCase, model: str,
                        seed: Optional[int] = None,
-                       seeds: Iterable[int] = range(200)
+                       seeds: Iterable[int] = range(200),
+                       ground_truth_cause: Optional[RootCause] = None,
+                       cause_count_attempts: int = 120
                        ) -> DebuggingMetrics:
-    """Record a failing production run under ``model``, replay, score."""
+    """Record a failing production run under ``model``, replay, score.
+
+    When ``ground_truth_cause`` is supplied (generated corpus cases carry
+    their planted defect), the replay is scored against that truth and
+    the original-run re-diagnosis is skipped entirely.
+    """
     if seed is None:
         seed = find_failing_seed(case, seeds)
         if seed is None:
@@ -101,22 +149,16 @@ def evaluate_app_model(case: AppCase, model: str,
     if log.failure is None:
         raise RuntimeError(
             f"{case.name}: seed {seed} did not fail under recording")
-    diagnoser = Diagnoser(extra_rules=case.diagnoser_rules)
-    # Re-derive the original trace for diagnosis from a full trace run:
-    # recording does not perturb execution (observers are passive), so
-    # the recorded run and this run are the same execution.
-    original = case.run(seed)
-    original_cause = diagnoser.diagnose(original.trace, original.failure)
-    replayer = make_replayer(model, case, log)
-    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
-    n_causes = count_root_causes(case, log.failure)
-    return evaluate_replay(
-        model=model,
-        overhead=log.overhead_factor,
-        original_failure=log.failure,
-        original_cause=original_cause,
-        original_cycles=log.native_cycles,
-        replay=replay,
-        n_causes=n_causes,
-        diagnoser=diagnoser,
-    )
+    if ground_truth_cause is not None:
+        original_cause = ground_truth_cause
+    else:
+        # Re-derive the original trace for diagnosis from a full trace
+        # run: recording does not perturb execution (observers are
+        # passive), so the recorded run and this run are the same
+        # execution.
+        original = case.run(seed)
+        original_cause = Diagnoser(
+            extra_rules=case.diagnoser_rules).diagnose(original.trace,
+                                                       original.failure)
+    return score_recorded_log(case, model, log, original_cause,
+                              cause_count_attempts=cause_count_attempts)

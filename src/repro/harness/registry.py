@@ -9,12 +9,21 @@ from repro.harness.fig2 import run_fig2
 from repro.harness.sec2 import run_sec2_adder, run_sec2_msgserver
 from repro.harness.sec32 import run_sec32_efficiency
 
+def run_corpus():
+    """Corpus sweet-spot matrix: 6 generated bugs x 5 models, 2 workers."""
+    # Imported lazily: repro.corpus.matrix itself imports this package's
+    # experiment machinery.
+    from repro.corpus.matrix import run_corpus_experiment
+    return run_corpus_experiment()
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": run_fig1,
     "fig2": run_fig2,
     "sec2_adder": run_sec2_adder,
     "sec2_msgserver": run_sec2_msgserver,
     "sec32_efficiency": run_sec32_efficiency,
+    "corpus": run_corpus,
 }
 
 

@@ -12,7 +12,8 @@
 
 from repro.metrics.core import (DebuggingMetrics, debugging_fidelity,
                                 debugging_efficiency, debugging_utility,
-                                evaluate_replay)
+                                evaluate_replay, summarize_model_rows)
 
 __all__ = ["DebuggingMetrics", "debugging_fidelity",
-           "debugging_efficiency", "debugging_utility", "evaluate_replay"]
+           "debugging_efficiency", "debugging_utility", "evaluate_replay",
+           "summarize_model_rows"]

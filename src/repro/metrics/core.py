@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.rootcause import Diagnoser, RootCause
 from repro.replay.base import ReplayResult
@@ -20,13 +20,28 @@ def debugging_fidelity(original_failure: Optional[FailureReport],
     0 when the failure is not reproduced; 1 when failure and root cause
     both match; 1/n when the failure is reproduced through a different
     root cause (n = number of possible root causes of the failure).
+
+    Degenerate cases are defined explicitly:
+
+    * ``original_cause is None`` (diagnosis failed on the original run):
+      a replay whose diagnosis *also* fails is exactly as informative as
+      the original - failure and (absent) cause both match, DF = 1.  A
+      replay that does produce a cause cannot be checked against the
+      original and earns only the 1/n ambiguity credit.
+    * ``n_causes <= 0`` (enumeration found nothing, e.g. an exhausted
+      budget): treated as a single possible cause, so the ambiguity
+      credit never exceeds 1 and never divides by zero.
     """
     if original_failure is None:
         raise ValueError("fidelity is only defined for failed runs")
     if replay_failure is None or not original_failure.same_failure(
             replay_failure):
         return 0.0
-    if original_cause is not None and original_cause.same_cause(replay_cause):
+    if original_cause is None:
+        if replay_cause is None:
+            return 1.0
+        return 1.0 / max(n_causes, 1)
+    if original_cause.same_cause(replay_cause):
         return 1.0
     return 1.0 / max(n_causes, 1)
 
@@ -72,6 +87,35 @@ class DebuggingMetrics:
             "failure_reproduced": self.failure_reproduced,
             "replay_cause": str(self.replay_cause or "-"),
         }
+
+
+def summarize_model_rows(rows: Iterable[Dict[str, object]],
+                         models: Iterable[str]
+                         ) -> Dict[str, Dict[str, object]]:
+    """Per-model averages over flattened metric rows (:meth:`row` shape).
+
+    The corpus matrix and the figure harnesses aggregate the same way:
+    mean overhead / DF / DE / DU per model plus how many of the model's
+    cells reproduced their failure.  Models with no rows are omitted.
+    """
+    rows = list(rows)
+    summary: Dict[str, Dict[str, object]] = {}
+    for model in models:
+        cells: List[Dict[str, object]] = [r for r in rows
+                                          if r["model"] == model]
+        if not cells:
+            continue
+        count = len(cells)
+        summary[model] = {
+            "cells": count,
+            "mean_overhead_x": round(
+                sum(float(r["overhead_x"]) for r in cells) / count, 3),
+            "mean_DF": round(sum(float(r["DF"]) for r in cells) / count, 3),
+            "mean_DE": round(sum(float(r["DE"]) for r in cells) / count, 4),
+            "mean_DU": round(sum(float(r["DU"]) for r in cells) / count, 4),
+            "reproduced": sum(1 for r in cells if r["failure_reproduced"]),
+        }
+    return summary
 
 
 def evaluate_replay(model: str,

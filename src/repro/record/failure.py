@@ -1,15 +1,15 @@
 """Failure-determinism recorder (ESD-class).
 
 Records *nothing* during the production run - overhead is exactly 1.0x.
-When the run fails, :meth:`finalize` captures a core dump (failure
-signature, final shared memory, outputs), which is all the information
-execution synthesis gets to work from.
+When the run fails, :meth:`finalize` captures the machine's core dump
+(failure signature, final shared memory, per-thread exit states,
+outputs), which is all the information execution synthesis gets to work
+from.
 """
 
 from __future__ import annotations
 
 from repro.record.base import Recorder
-from repro.vm.failures import CoreDump
 from repro.vm.machine import Machine
 from repro.vm.trace import StepRecord
 
@@ -27,9 +27,5 @@ class FailureRecorder(Recorder):
     def finalize(self, machine: Machine) -> "RecordingLog":
         log = super().finalize(machine)
         if machine.failure is not None:
-            log.core_dump = CoreDump(
-                failure=machine.failure,
-                final_memory=machine.memory.snapshot(),
-                outputs={k: list(v) for k, v in machine.env.outputs.items()},
-            )
+            log.core_dump = machine.core_dump()
         return log

@@ -9,6 +9,18 @@ bug reports, and replayed elsewhere.
 Tuples (locations, sync events, selective-order entries) are encoded as
 lists and restored on load; failure reports and core dumps are encoded
 structurally.  The format is versioned so future log layouts can evolve.
+
+Key-type round trip
+-------------------
+JSON object keys are always strings, so ``json.dump`` silently turns
+integer dict keys into digit strings.  The tid-keyed per-thread log
+fields are handled explicitly; core-dump ``final_memory`` (which nests
+tid-keyed thread states, while its other keys are guest identifiers -
+never canonical integer strings) is normalized recursively by
+:func:`_restore_int_keys`.  Without this, a loaded log is not the log
+that was saved: ``final_memory["threads"]`` comes back keyed by ``"1"``
+instead of ``1``.  Output channels are arbitrary guest string literals,
+so channel-keyed dicts are deliberately left untouched.
 """
 
 from __future__ import annotations
@@ -33,6 +45,37 @@ def _encode_failure(failure: Optional[FailureReport]) -> Optional[dict]:
         "tid": failure.tid,
         "step_index": failure.step_index,
     }
+
+
+def _restore_int_keys(obj: Any) -> Any:
+    """Recursively turn canonical integer-string dict keys back to ints.
+
+    The inverse of JSON's forced key stringification, valid for
+    ``final_memory`` because its non-integer keys are guest identifiers
+    (see module docstring).
+    """
+    if isinstance(obj, dict):
+        return {_int_key(key): _restore_int_keys(value)
+                for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_restore_int_keys(value) for value in obj]
+    return obj
+
+
+def _int_key(key: Any) -> Any:
+    """Restore a key only when it is exactly what ``str(int)`` emits.
+
+    Anything else ("007", "--1", non-ASCII digits, "1.0") is a genuine
+    string key and passes through unchanged - an int key never serializes
+    to a non-canonical form, so this is lossless.
+    """
+    if not (isinstance(key, str) and key and key.isascii()):
+        return key
+    try:
+        value = int(key)
+    except ValueError:
+        return key
+    return value if str(value) == key else key
 
 
 def _decode_failure(data: Optional[dict]) -> Optional[FailureReport]:
@@ -126,7 +169,7 @@ def log_from_dict(data: Dict[str, Any]) -> RecordingLog:
     if core is not None:
         log.core_dump = CoreDump(
             failure=_decode_failure(core["failure"]),
-            final_memory=core.get("final_memory", {}),
+            final_memory=_restore_int_keys(core.get("final_memory", {})),
             outputs=core.get("outputs", {}),
         )
     log.selective_order = [tuple(entry)

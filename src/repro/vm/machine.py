@@ -798,12 +798,30 @@ class Machine:
         return twin
 
     def core_dump(self) -> CoreDump:
-        """What a failure-deterministic recorder ships to the developer."""
+        """What a failure-deterministic recorder ships to the developer.
+
+        Like a real core dump, this includes per-thread exit state (under
+        ``final_memory["threads"]``, keyed by integer tid): where each
+        thread was and what it was blocked on when the process died -
+        the information a developer reads off the thread stacks of a
+        crash dump, and what makes deadlocks diagnosable from the dump
+        alone.
+        """
         if self.failure is None:
             raise MachineError("no failure to dump")
+        final_memory = self.memory.snapshot()
+        final_memory["threads"] = {
+            tid: {
+                "site": (f"{t.frames[-1].function.name}@{t.frames[-1].pc}"
+                         if t.frames else None),
+                "status": t.status.value,
+                "blocked_on": t.blocked_on,
+            }
+            for tid, t in self.threads.items()
+        }
         return CoreDump(
             failure=self.failure,
-            final_memory=self.memory.snapshot(),
+            final_memory=final_memory,
             outputs={k: list(v) for k, v in self.env.outputs.items()},
         )
 

@@ -10,9 +10,42 @@ from repro.apps import ALL_APPS
 
 def test_registry_contents():
     assert set(EXPERIMENTS) == {"fig1", "fig2", "sec2_adder",
-                                "sec2_msgserver", "sec32_efficiency"}
+                                "sec2_msgserver", "sec32_efficiency",
+                                "corpus"}
     with pytest.raises(KeyError):
         run_experiment("fig99")
+
+
+def test_cause_count_cache_keyed_by_program_identity():
+    """Two cases sharing a name must not poison each other's ``n``.
+
+    The cache used to key on (case.name, failure.location) alone;
+    generated corpus cases freely reuse names across seeds, so the first
+    evaluated case's cause count leaked into every namesake.  The cache
+    now keys on program identity.
+    """
+    from dataclasses import replace
+
+    from repro.harness.experiments import (_CAUSE_COUNT_CACHE,
+                                           count_root_causes)
+    from repro.apps.base import find_failing_seed
+
+    racy = replace(ALL_APPS["racy_counter"](), name="twin")
+    dead = replace(ALL_APPS["deadlock"](), name="twin")
+    racy_failure = racy.run(find_failing_seed(racy)).failure
+    dead_failure = dead.run(find_failing_seed(dead)).failure
+
+    n_racy = count_root_causes(racy, racy_failure, max_attempts=6)
+    n_dead = count_root_causes(dead, dead_failure, max_attempts=6)
+    assert n_racy >= 1 and n_dead >= 1
+    # Both programs hold their own cache entries despite the shared name.
+    assert racy.program in _CAUSE_COUNT_CACHE
+    assert dead.program in _CAUSE_COUNT_CACHE
+    assert (_CAUSE_COUNT_CACHE[racy.program].keys()
+            != _CAUSE_COUNT_CACHE[dead.program].keys())
+    # And the cached values are actually reused per program.
+    assert count_root_causes(racy, racy_failure, max_attempts=6) == n_racy
+    assert count_root_causes(dead, dead_failure, max_attempts=6) == n_dead
 
 
 @pytest.fixture(scope="module")

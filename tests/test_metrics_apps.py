@@ -35,6 +35,27 @@ def test_df_requires_original_failure():
         debugging_fidelity(None, RACE, FAIL_A, RACE, 1)
 
 
+def test_df_degenerate_no_original_cause():
+    """Diagnosis failed on the original run: DF is defined, not 1/n.
+
+    A replay whose diagnosis also fails matches the original exactly
+    (DF = 1); a replay that produces some cause cannot be checked
+    against the original and gets only the ambiguity credit.
+    """
+    assert debugging_fidelity(FAIL_A, None, FAIL_A, None, 3) == 1.0
+    assert debugging_fidelity(FAIL_A, None, FAIL_A, RACE, 4) \
+        == pytest.approx(1 / 4)
+    # Failure not reproduced still dominates everything else.
+    assert debugging_fidelity(FAIL_A, None, None, None, 3) == 0.0
+
+
+def test_df_degenerate_zero_causes():
+    """n = 0 (exhausted enumeration) acts as a single possible cause."""
+    assert debugging_fidelity(FAIL_A, RACE, FAIL_A, CONGESTION, 0) == 1.0
+    assert debugging_fidelity(FAIL_A, None, FAIL_A, RACE, 0) == 1.0
+    assert debugging_fidelity(FAIL_A, RACE, FAIL_A, RACE, 0) == 1.0
+
+
 def test_de_ratio_and_bounds():
     assert debugging_efficiency(1000, 2000) == pytest.approx(0.5)
     assert debugging_efficiency(1000, 500) == pytest.approx(2.0)

@@ -89,6 +89,59 @@ def test_core_dump_survives_roundtrip(case, seed):
     assert restored.core_dump.final_memory == log.core_dump.final_memory
 
 
+def test_core_dump_thread_keys_stay_integers(case, seed):
+    """JSON stringifies int dict keys; decode must restore them.
+
+    The core dump's per-thread exit states are keyed by tid.  Before the
+    decode-side key normalization, a loaded log was not the log that was
+    saved: ``final_memory["threads"]`` came back keyed by ``"1"``
+    instead of ``1``.
+    """
+    log = record(case, FailureRecorder(), seed)
+    threads = log.core_dump.final_memory["threads"]
+    assert threads and all(isinstance(tid, int) for tid in threads)
+    restored = roundtrip(log)
+    assert restored.core_dump.final_memory == log.core_dump.final_memory
+    assert all(isinstance(tid, int)
+               for tid in restored.core_dump.final_memory["threads"])
+
+
+def test_key_restoration_only_touches_canonical_int_strings():
+    """Guest-chosen string keys must never be coerced (or crash decode).
+
+    Channels are arbitrary string literals, so only keys that are
+    exactly ``str(int)`` output are restored - "007", "--1", "1.0" and
+    non-ASCII digits pass through untouched.
+    """
+    from repro.record.log import RecordingLog
+    from repro.vm.failures import CoreDump, FailureKind, FailureReport
+
+    log = RecordingLog(model="failure")
+    log.failure = FailureReport(FailureKind.ASSERTION, "main@1", "x")
+    log.core_dump = CoreDump(
+        failure=log.failure,
+        final_memory={"globals": {"--1": 1, "007": 2, "²": 3},
+                      "threads": {0: {"site": None}, -3: {"site": None}}},
+        outputs={"123": [1], "--1": [2]})
+    restored = roundtrip(log)
+    assert restored.core_dump.final_memory == log.core_dump.final_memory
+    assert restored.core_dump.outputs == log.core_dump.outputs
+
+
+def test_loaded_log_replays_to_identical_digest(case, seed, tmp_path):
+    """load_log(save_log(x)) drives a byte-identical replay."""
+    log = record(case, FullRecorder(), seed)
+    path = tmp_path / "shipped.rrlog.json"
+    save_log(log, str(path))
+    loaded = load_log(str(path))
+    original = DeterministicReplayer().replay(case.program, log,
+                                              io_spec=case.io_spec)
+    shipped = DeterministicReplayer().replay(case.program, loaded,
+                                             io_spec=case.io_spec)
+    assert original.trace.fingerprint() == shipped.trace.fingerprint()
+    assert shipped.reproduced_failure(log.failure)
+
+
 def test_save_and_load_file(case, seed, tmp_path):
     log = record(case, FullRecorder(), seed)
     path = tmp_path / "run.rrlog.json"
