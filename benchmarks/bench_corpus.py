@@ -15,7 +15,7 @@ import copy
 import pytest
 
 from repro.corpus import BUG_CLASSES, run_matrix
-from repro.harness.bench import bench_corpus
+from repro.harness.bench import bench_corpus, bench_model_dispatch
 from repro.harness.experiments import MODEL_ORDER
 
 pytestmark = pytest.mark.perf
@@ -68,3 +68,21 @@ def test_bench_corpus_table_shape():
     table = bench_corpus(repeats=1)
     assert [row["jobs"] for row in table] == [1, 2]
     assert all(row["cells_per_sec"] > 0 for row in table)
+
+
+def test_registry_dispatch_adds_no_measurable_cell_overhead():
+    """The matrix throughput floor survives registry-based dispatch.
+
+    A matrix cell runs in the ~10ms regime (~100 cells/sec floor); one
+    cell's worth of model construction through the registry must stay
+    microscopic next to that - we require at least 2,000 five-model
+    constructions/sec (< 0.5ms per cell, i.e. under ~5% of a cell even
+    on a badly loaded machine; in practice it is tens of microseconds).
+    """
+    table = bench_model_dispatch(repeats=2)
+    rates = {row["variant"]: row["constructions_per_sec"] for row in table}
+    assert set(rates) == {"direct_classes", "registry"}
+    assert rates["registry"] >= 2_000, rates
+    # And the registry hop itself stays within the same order of
+    # magnitude as constructing the concrete classes directly.
+    assert rates["registry"] >= rates["direct_classes"] / 10, rates

@@ -2,9 +2,11 @@
 """Quickstart: record a heisenbug under every determinism model.
 
 Compiles a racy counter in MiniLang, finds a schedule seed where the
-lost-update bug fires, then records that production run under each of
-the five determinism models and replays each log - printing the paper's
-core trade-off: recording overhead versus what the replay gives you back.
+lost-update bug fires, then runs one DebugSession per registered
+determinism model: record the production run, ship the log through JSON
+(exactly as logs travel to a developer workstation), replay it via
+registry dispatch, and score it - printing the paper's core trade-off:
+recording overhead versus what the replay gives you back.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +14,7 @@ Run:  python examples/quickstart.py
 from repro.analysis.rootcause import Diagnoser
 from repro.apps import racy_counter
 from repro.apps.base import find_failing_seed
-from repro.harness.experiments import (MODEL_ORDER, evaluate_app_model)
+from repro.models import DebugSession, model_order
 from repro.util.tables import Table
 
 
@@ -35,8 +37,11 @@ def main() -> None:
     table = Table(["model", "overhead_x", "DF", "DE", "DU",
                    "failure_reproduced"],
                   title="Determinism models on the racy counter")
-    for model in MODEL_ORDER:
-        metrics = evaluate_app_model(case, model, seed=seed)
+    for model in model_order():
+        session = DebugSession(case, model, seed=seed)
+        session.record()   # the production run, under this model's recorder
+        session.ship()     # JSON round trip: the log as it really travels
+        metrics = session.score()
         table.add_row(**{**metrics.row(),
                          "overhead_x": round(metrics.overhead, 3),
                          "DF": round(metrics.fidelity, 3),

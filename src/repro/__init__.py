@@ -5,6 +5,8 @@ Public API map
 ``repro.vm``         MiniVM + MiniLang (the single-machine substrate)
 ``repro.record``     recorders, one per determinism model
 ``repro.replay``     replayers, search, symbolic execution, synthesis
+``repro.models``     determinism models as registered first-class
+                     objects + the DebugSession pipeline
 ``repro.analysis``   races, invariants, planes, root causes, triggers
 ``repro.metrics``    debugging fidelity / efficiency / utility
 ``repro.distsim``    distributed discrete-event substrate
@@ -15,13 +17,15 @@ Public API map
 Quick taste::
 
     from repro.apps import racy_counter
-    from repro.harness.experiments import evaluate_app_model
+    from repro.models import DebugSession
 
-    case = racy_counter.make_case()
-    print(evaluate_app_model(case, "rcse").row())
+    session = DebugSession(racy_counter.make_case(), "rcse")
+    session.record()          # the failing production run
+    session.ship()            # JSON round trip, as logs really travel
+    print(session.score().row())
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["vm", "record", "replay", "analysis", "metrics", "distsim",
-           "hypertable", "apps", "harness", "util", "errors"]
+__all__ = ["vm", "record", "replay", "models", "analysis", "metrics",
+           "distsim", "hypertable", "apps", "harness", "util", "errors"]

@@ -5,7 +5,16 @@ Commands
 ``experiments``            list the registered paper experiments
 ``run <experiment-id>``    run one experiment and print its table(s)
 ``apps``                   list the hand-written bug corpus
+``models``                 list the registered determinism models
 ``demo <app> [--model M]`` record + replay one corpus bug under a model
+``record --model M --case C -o log.json``
+                           record one failing production run and write
+                           the self-describing log file (case specs:
+                           an app name, ``app:<name>``, or
+                           ``corpus:<seed>``)
+``replay log.json``        replay a shipped log file end to end; the
+                           replayer is dispatched from the log alone
+                           (the production→workstation hop on real files)
 ``corpus list|show|run``   the generated scenario corpus: list cases for
                            a seed range, show one generated program, or
                            run the full (case x model) matrix in
@@ -55,8 +64,13 @@ def _cmd_demo(args) -> int:
         print(f"unknown app {args.app!r}; see `python -m repro apps`",
               file=sys.stderr)
         return 1
+    from repro.errors import UnknownModelError
     case = ALL_APPS[args.app]()
-    metrics = evaluate_app_model(case, args.model)
+    try:
+        metrics = evaluate_app_model(case, args.model)
+    except UnknownModelError as exc:
+        print(exc, file=sys.stderr)
+        return 1
     print(f"app:                {case.name} - {case.description}")
     print(f"model:              {metrics.model}")
     print(f"recording overhead: {metrics.overhead:.3f}x")
@@ -65,6 +79,69 @@ def _cmd_demo(args) -> int:
     print(f"replayed cause:     {metrics.replay_cause}")
     print(f"DF={metrics.fidelity:.3f}  DE={metrics.efficiency:.4f}  "
           f"DU={metrics.utility:.4f}  (n_causes={metrics.n_causes})")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from repro.models import registered_models
+    from repro.util.tables import Table
+    table = Table(["model", "chronology", "core", "description"],
+                  title="Registered determinism models")
+    for model in registered_models():
+        table.add_row(model=model.name, chronology=model.display_order,
+                      core=model.core, description=model.description)
+    print(table.render())
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from repro.errors import ReproError
+    from repro.models import DebugSession, resolve_case
+    from repro.record import save_log
+    try:
+        case = resolve_case(args.case)
+        seed = args.seed
+        if seed is None:
+            # Generated corpus cases pin their known-failing seed.
+            seed = getattr(case, "failing_seed", None)
+        session = DebugSession(case, args.model, seed=seed)
+        log = session.record()
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    save_log(log, args.output)
+    print(f"case:     {case.name} - {case.description}")
+    print(f"recorded: {log.summary()}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.analysis.rootcause import Diagnoser
+    from repro.errors import ReproError
+    from repro.models import DebugSession, resolve_case
+    from repro.record import load_log
+    try:
+        log = load_log(args.log)
+        case = resolve_case(args.case) if args.case else None
+        session = DebugSession.receive(log, case=case)
+        result = session.replay()
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    case = session.case
+    reproduced = result.reproduced_failure(log.failure)
+    cause = Diagnoser(extra_rules=case.diagnoser_rules).diagnose(
+        result.trace, result.failure)
+    print(f"log:                {args.log} ({log.summary()})")
+    print(f"case:               {case.name}")
+    print(f"model:              {log.model}")
+    print(f"recorded failure:   {log.failure}")
+    print(f"replayed failure:   {result.failure}")
+    print(f"failure reproduced: {reproduced}")
+    print(f"replay cause:       {cause}")
+    print(f"attempts={result.attempts}  divergences={result.divergences}  "
+          f"debug_cycles={result.total_debug_cycles}")
     return 0
 
 
@@ -124,13 +201,45 @@ def main(argv=None) -> int:
     run_parser.set_defaults(func=_cmd_run)
     commands.add_parser("apps", help="list the bug corpus").set_defaults(
         func=_cmd_apps)
+    commands.add_parser(
+        "models",
+        help="list the registered determinism models").set_defaults(
+        func=_cmd_models)
+    # Model names are validated at use time by the registry (keeping
+    # parser construction free of the full-stack import); unknown names
+    # fail with the registered list in the message.
     demo_parser = commands.add_parser(
         "demo", help="record+replay one bug under a determinism model")
     demo_parser.add_argument("app")
     demo_parser.add_argument("--model", default="rcse",
-                             choices=["full", "value", "output",
-                                      "failure", "rcse"])
+                             help="a registered determinism model "
+                                  "(see `repro models`)")
     demo_parser.set_defaults(func=_cmd_demo)
+
+    record_parser = commands.add_parser(
+        "record", help="record one failing production run to a "
+                       "self-describing log file")
+    record_parser.add_argument("--model", default="full",
+                               help="a registered determinism model "
+                                    "(see `repro models`)")
+    record_parser.add_argument("--case", required=True,
+                               help="app name, app:<name>, or "
+                                    "corpus:<seed>")
+    record_parser.add_argument("--seed", type=int, default=None,
+                               help="production scheduler seed "
+                                    "(default: first failing seed)")
+    record_parser.add_argument("-o", "--output", default="run.rrlog.json",
+                               help="where to write the log file")
+    record_parser.set_defaults(func=_cmd_record)
+
+    replay_parser = commands.add_parser(
+        "replay", help="replay a shipped log file (replayer dispatched "
+                       "from the log alone)")
+    replay_parser.add_argument("log", help="path to a recorded log file")
+    replay_parser.add_argument("--case", default=None,
+                               help="override the log's embedded case "
+                                    "reference")
+    replay_parser.set_defaults(func=_cmd_replay)
     corpus_parser = commands.add_parser(
         "corpus", help="generated scenario corpus: list, show, or run the "
                        "(case x model) experiment matrix")

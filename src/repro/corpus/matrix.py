@@ -30,10 +30,9 @@ from multiprocessing import Pool
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.corpus.generator import GeneratedCase, generate_case
-from repro.harness.experiments import (MODEL_ORDER, make_recorder,
-                                       score_recorded_log)
+from repro.errors import UnknownModelError
 from repro.metrics import summarize_model_rows
-from repro.record import log_from_dict, log_to_dict, record_run
+from repro.models import DebugSession, get_model, model_order
 from repro.util.tables import Table
 
 CORPUS_RESULTS_PATH = "CORPUS_results.json"
@@ -53,19 +52,9 @@ def _record_task(task: Tuple[int, Tuple[str, ...]]
     case = generate_case(seed)
     payloads: List[Tuple[str, str]] = []
     for model in models:
-        recorder = make_recorder(model, case)
-        log = record_run(
-            case.program, recorder,
-            inputs={k: list(v) for k, v in case.inputs.items()},
-            seed=case.failing_seed,
-            scheduler=case.production_scheduler(case.failing_seed),
-            io_spec=case.io_spec,
-            net_drop_rate=case.net_drop_rate)
-        if log.failure is None:
-            raise RuntimeError(
-                f"{case.name}: pinned failing seed {case.failing_seed} "
-                f"did not fail under {model} recording")
-        payloads.append((model, json.dumps(log_to_dict(log))))
+        session = DebugSession(case, model, seed=case.failing_seed)
+        session.record()
+        payloads.append((model, session.ship()))
     return seed, case.provenance(), payloads
 
 
@@ -74,15 +63,17 @@ def _replay_task(task: Tuple[int, List[Tuple[str, str]]]
     """Phase 2: decode each shipped log, replay it, score against truth.
 
     One task carries *all* models of one seed so the expensive
-    cause-count enumeration is paid once per case per worker.
+    cause-count enumeration is paid once per case per worker.  The
+    session is rebuilt purely from the shipped payload - the worker
+    resolves the case from the log's embedded reference, exactly as a
+    remote workstation that never saw the recorder would.
     """
     seed, payloads = task
-    case = generate_case(seed)
     rows: List[Dict[str, Any]] = []
     for model, payload in payloads:
-        log = log_from_dict(json.loads(payload))
-        metrics = score_recorded_log(
-            case, model, log,
+        session = DebugSession.receive(payload)
+        case = session.case
+        metrics = session.score(
             original_cause=case.known_cause,  # ground truth, not re-diagnosis
             cause_count_attempts=CORPUS_CAUSE_ATTEMPTS)
         rows.append({
@@ -115,19 +106,28 @@ def _map_tasks(worker, tasks: list, jobs: int) -> list:
 
 
 def run_matrix(seeds: Iterable[int],
-               models: Sequence[str] = MODEL_ORDER,
+               models: Optional[Sequence[str]] = None,
                jobs: int = 1,
                path: Optional[str] = None) -> Dict[str, Any]:
     """Evaluate every (generated case x model) cell; aggregate per model.
 
     Returns the full results dict (and writes it to ``path`` as JSON when
     given).  Everything outside the ``timing`` section is a deterministic
-    function of (seeds, models).
+    function of (seeds, models).  ``models`` defaults to the registry's
+    core sweep order *at call time*, so a core model registered after
+    this module was imported still joins the default sweep.
     """
     seed_list = sorted(set(seeds))
-    unknown = [m for m in models if m not in MODEL_ORDER]
+    if models is None:
+        models = model_order()
+    unknown = []
+    for model in models:
+        try:
+            get_model(model)
+        except UnknownModelError:
+            unknown.append(model)
     if unknown:
-        raise ValueError(f"unknown determinism models: {unknown}")
+        raise UnknownModelError(f"unknown determinism models: {unknown}")
     models = tuple(models)
 
     started = time.perf_counter()
@@ -220,5 +220,5 @@ def corpus_case_table(cases: Iterable[GeneratedCase]) -> Table:
 
 def run_corpus_experiment() -> Tuple[Table, Table]:
     """The registry entry: a small parallel sweep over all six classes."""
-    results = run_matrix(range(6), models=MODEL_ORDER, jobs=2)
+    results = run_matrix(range(6), jobs=2)
     return corpus_tables(results)

@@ -83,3 +83,32 @@ class SimulationError(ReproError):
 
 class SpecError(ReproError):
     """An I/O specification is malformed or cannot be evaluated."""
+
+
+class RecordingFailedError(ReproError, RuntimeError):
+    """A recording session could not capture a failing production run.
+
+    Either no scheduler seed in the searched range made the case fail,
+    or the pinned seed's run completed cleanly under the recorder.
+    Subclasses :class:`RuntimeError` for callers of the historical
+    ``evaluate_app_model`` contract.
+    """
+
+
+class UnknownModelError(ReproError, ValueError):
+    """A determinism-model name is not in the model registry.
+
+    Subclasses :class:`ValueError` as well because the model name is an
+    ordinary bad argument to callers that take model names as strings
+    (the historical contract of ``make_recorder``/``run_matrix``).
+    """
+
+
+class LogFormatError(ReproError):
+    """A recording log could not be read, parsed, or version-matched.
+
+    Raised by :mod:`repro.record.serialize` with the offending path (when
+    loading from disk) and the found format version in the message, so a
+    truncated upload or a log from a newer producer is diagnosable from
+    the error alone.
+    """

@@ -24,7 +24,10 @@ prune pipeline.
 The ``corpus`` section measures scenario-matrix throughput (evaluated
 cells/sec) on a small generated-corpus sweep, sequentially and with a
 2-worker pool - the number that bounds how many generated scenarios a
-full sweep can score per second.
+full sweep can score per second - plus the model-registry dispatch
+cost: constructing every core model's recorder+replayer pair through
+the registry versus through the concrete classes, showing registry
+dispatch adds no measurable per-cell overhead.
 """
 
 from __future__ import annotations
@@ -389,11 +392,94 @@ def bench_corpus(repeats: int = 3) -> Table:
     return table
 
 
+DISPATCH_ROUNDS = 300
+
+
+def _dispatch_direct(config, log):
+    """Baseline: the five (recorder, replayer) pairs from concrete classes.
+
+    Mirrors the pre-registry string-keyed factories, inlined.
+    """
+    from repro.analysis.triggers import RaceTrigger
+    from repro.record import (FailureRecorder, FullRecorder, OutputMode,
+                              OutputRecorder, SelectiveRecorder,
+                              ValueRecorder)
+    from repro.replay import (DeterministicReplayer, ExecutionSynthesizer,
+                              OdrReplayer, SelectiveReplayer, ValueReplayer)
+    from repro.replay.search import SearchBudget
+    return (
+        (FullRecorder(), DeterministicReplayer()),
+        (ValueRecorder(), ValueReplayer()),
+        (OutputRecorder(OutputMode.IO_PATH_SCHED),
+         OdrReplayer(inner_seeds=range(48))),
+        (FailureRecorder(),
+         ExecutionSynthesizer(config.input_space,
+                              schedule_seeds=range(48),
+                              net_drop_rate=config.net_drop_rate,
+                              budget=SearchBudget(max_attempts=600))),
+        (SelectiveRecorder(control_plane=config.control_plane,
+                           triggers=[RaceTrigger()],
+                           dialdown_quiet_steps=400),
+         SelectiveReplayer(base_inputs=config.inputs,
+                           net_drop_rate=config.net_drop_rate,
+                           target_failure=log.failure)),
+    )
+
+
+def _dispatch_registry(config, log):
+    """The same five pairs, constructed through the model registry."""
+    from repro.models import get_model, model_order
+    return tuple(
+        (get_model(name).make_recorder(config),
+         get_model(name).make_replayer(config, log))
+        for name in model_order())
+
+
+def bench_model_dispatch(repeats: int = 3, rounds: int = DISPATCH_ROUNDS
+                         ) -> Table:
+    """Model-construction throughput: registry dispatch vs direct classes.
+
+    One "construction" is all five core models' recorder+replayer pairs
+    for one cell.  The matrix pays this once per cell, so as long as
+    both variants run in the tens of microseconds the registry is free
+    at matrix scale (cells take ~10ms each).
+    """
+    from repro.corpus.generator import generate_case
+    from repro.models import DebugSession, ModelConfig
+    case = generate_case(0)
+    config = ModelConfig.from_case(case)
+    session = DebugSession(case, "failure", seed=case.failing_seed)
+    log = session.record()
+    table = Table(["variant", "constructions", "seconds",
+                   "constructions_per_sec"],
+                  title="Model dispatch cost (5-model recorder+replayer "
+                        "construction per cell)")
+    for variant, build in (("direct_classes", _dispatch_direct),
+                           ("registry", _dispatch_registry)):
+        build(config, log)  # warmup (first-touch imports)
+        best_rate = 0.0
+        best_seconds = 0.0
+        for __ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for __r in range(rounds):
+                build(config, log)
+            elapsed = time.perf_counter() - start
+            rate = rounds / elapsed if elapsed > 0 else float("inf")
+            if rate > best_rate:
+                best_rate = rate
+                best_seconds = elapsed
+        table.add_row(variant=variant, constructions=rounds,
+                      seconds=best_seconds,
+                      constructions_per_sec=round(best_rate))
+    return table
+
+
 def write_summary(interpreter: Optional[Table] = None,
                   queries: Optional[Table] = None,
                   path: str = BENCH_SUMMARY_PATH,
                   search: Optional[Table] = None,
-                  corpus: Optional[Table] = None) -> Dict[str, Any]:
+                  corpus: Optional[Table] = None,
+                  dispatch: Optional[Table] = None) -> Dict[str, Any]:
     """Write the machine-readable perf summary tracked across PRs.
 
     Sections not measured this run (``None``) are carried over from the
@@ -403,7 +489,8 @@ def write_summary(interpreter: Optional[Table] = None,
     try:
         with open(path, "r", encoding="utf-8") as handle:
             previous = json.load(handle)
-        for key in ("workloads", "trace_queries", "search", "corpus"):
+        for key in ("workloads", "trace_queries", "search", "corpus",
+                    "model_dispatch"):
             if key in previous:
                 summary[key] = previous[key]
     except (OSError, ValueError):
@@ -429,6 +516,10 @@ def write_summary(interpreter: Optional[Table] = None,
             "cells": row["cells"],
             "cells_per_sec": row["cells_per_sec"],
         } for row in corpus}
+    if dispatch is not None:
+        summary["model_dispatch"] = {row["variant"]: {
+            "constructions_per_sec": row["constructions_per_sec"],
+        } for row in dispatch}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -444,7 +535,7 @@ def run_bench(path: str = BENCH_SUMMARY_PATH,
     if unknown:
         raise ValueError(f"unknown bench sections: {sorted(unknown)}")
     tables: List[Table] = []
-    interpreter = queries = search = corpus = None
+    interpreter = queries = search = corpus = dispatch = None
     if "interpreter" in selected:
         interpreter = bench_interpreter(repeats=repeats)
         tables.append(interpreter)
@@ -457,6 +548,8 @@ def run_bench(path: str = BENCH_SUMMARY_PATH,
     if "corpus" in selected:
         corpus = bench_corpus(repeats=repeats)
         tables.append(corpus)
+        dispatch = bench_model_dispatch(repeats=repeats)
+        tables.append(dispatch)
     write_summary(interpreter, queries, path=path, search=search,
-                  corpus=corpus)
+                  corpus=corpus, dispatch=dispatch)
     return tables

@@ -1,99 +1,60 @@
-"""Shared experiment machinery: evaluate one (app, model) cell."""
+"""Shared experiment machinery: evaluate one (app, model) cell.
+
+Everything here is now a thin layer over the model registry
+(:mod:`repro.models`): determinism models are first-class registered
+objects, and the canonical record→ship→replay→score pipeline lives in
+:class:`~repro.models.session.DebugSession`.  ``make_recorder`` /
+``make_replayer`` remain as deprecated string-keyed shims for old
+callers; they construct through the registry and nothing else.
+"""
 
 from __future__ import annotations
 
-import weakref
-from typing import Dict, Iterable, Optional, Tuple
+import warnings
+from typing import Iterable, Optional
 
-from repro.analysis.rootcause import (Diagnoser, RootCause,
-                                      enumerate_root_causes)
-from repro.analysis.triggers import RaceTrigger
-from repro.apps.base import AppCase, find_failing_seed
-from repro.metrics import DebuggingMetrics, evaluate_replay
-from repro.record import (FailureRecorder, FullRecorder, OutputRecorder,
-                          OutputMode, SelectiveRecorder, ValueRecorder,
-                          record_run)
-from repro.replay import (DeterministicReplayer, ExecutionSynthesizer,
-                          OdrReplayer, SelectiveReplayer, ValueReplayer)
-from repro.replay.search import ExecutionSearch, SearchBudget
+from repro.analysis.rootcause import RootCause
+from repro.apps.base import AppCase
+from repro.metrics import DebuggingMetrics
+from repro.models import (DebugSession, REDIAGNOSE, ModelConfig, get_model,
+                          model_order)
+from repro.models.session import (  # noqa: F401 (re-exports)
+    _CAUSE_COUNT_CACHE, count_root_causes)
 
-MODEL_ORDER = ("full", "value", "output", "failure", "rcse")
+# The five core models, in the paper's chronological relaxation order -
+# an import-time snapshot of the registry kept for the historical
+# constant's callers.  Sweeps (run_fig1, run_matrix) call model_order()
+# at use time instead, so a core model registered later still joins
+# their defaults.
+MODEL_ORDER = model_order()
 
 # Chronological relaxation order used by Figure 1's x-axis annotations.
-CHRONOLOGY = {"full": 0, "value": 1, "output": 2, "failure": 3, "rcse": 4}
+CHRONOLOGY = {name: index for index, name in enumerate(MODEL_ORDER)}
 
 
 def make_recorder(model: str, case: AppCase):
-    """Instantiate the recorder implementing one determinism model."""
-    if model == "full":
-        return FullRecorder()
-    if model == "value":
-        return ValueRecorder()
-    if model == "output":
-        return OutputRecorder(OutputMode.IO_PATH_SCHED)
-    if model == "failure":
-        return FailureRecorder()
-    if model == "rcse":
-        return SelectiveRecorder(
-            control_plane=case.control_plane,
-            triggers=[RaceTrigger()],
-            dialdown_quiet_steps=400)
-    raise ValueError(f"unknown model {model!r}")
+    """Deprecated shim: instantiate a model's recorder via the registry.
+
+    Use ``get_model(model).make_recorder(ModelConfig.from_case(case))``
+    (or a :class:`~repro.models.session.DebugSession`) instead.
+    """
+    warnings.warn("make_recorder is deprecated; construct through "
+                  "repro.models.get_model", DeprecationWarning,
+                  stacklevel=2)
+    return get_model(model).make_recorder(ModelConfig.from_case(case))
 
 
 def make_replayer(model: str, case: AppCase, log):
-    """Instantiate the replayer matching one determinism model."""
-    if model == "full":
-        return DeterministicReplayer()
-    if model == "value":
-        return ValueReplayer()
-    if model == "output":
-        return OdrReplayer(inner_seeds=range(48))
-    if model == "failure":
-        return ExecutionSynthesizer(
-            case.input_space, schedule_seeds=range(48),
-            net_drop_rate=case.net_drop_rate,
-            budget=SearchBudget(max_attempts=600))
-    if model == "rcse":
-        return SelectiveReplayer(
-            base_inputs=case.inputs,
-            net_drop_rate=case.net_drop_rate,
-            target_failure=log.failure)
-    raise ValueError(f"unknown model {model!r}")
+    """Deprecated shim: instantiate a model's replayer via the registry.
 
-
-# Cause-count memoization, keyed by *program identity* - never by case
-# name.  Generated corpus cases are legion and freely share names across
-# seeds; a name-keyed cache would let one case poison another's ``n``.
-# The outer WeakKeyDictionary drops a program's entries when the program
-# itself is collected, so a long corpus sweep does not accumulate counts
-# for dead cases.
-_CAUSE_COUNT_CACHE: ("weakref.WeakKeyDictionary"
-                     "[object, Dict[Tuple, int]]") = (
-    weakref.WeakKeyDictionary())
-
-
-def count_root_causes(case: AppCase, failure,
-                      max_attempts: int = 120) -> int:
-    """The paper's ``n``: distinct root causes reachable for a failure."""
-    per_program = _CAUSE_COUNT_CACHE.get(case.program)
-    if per_program is None:
-        per_program = {}
-        _CAUSE_COUNT_CACHE[case.program] = per_program
-    key = (failure.signature(), max_attempts)
-    if key in per_program:
-        return per_program[key]
-    search = ExecutionSearch(
-        case.program, case.input_space, schedule_seeds=range(24),
-        io_spec=case.io_spec, net_drop_rate=case.net_drop_rate,
-        switch_prob=case.switch_prob)
-    causes = enumerate_root_causes(
-        search, failure,
-        diagnoser=Diagnoser(extra_rules=case.diagnoser_rules),
-        budget=SearchBudget(max_attempts=max_attempts))
-    count = max(len(causes), 1)
-    per_program[key] = count
-    return count
+    Use ``get_model(model).make_replayer(...)`` (or
+    :func:`repro.models.replay_log`, which dispatches from the log
+    alone) instead.
+    """
+    warnings.warn("make_replayer is deprecated; construct through "
+                  "repro.models.get_model", DeprecationWarning,
+                  stacklevel=2)
+    return get_model(model).make_replayer(ModelConfig.from_case(case), log)
 
 
 def score_recorded_log(case: AppCase, model: str, log,
@@ -105,22 +66,12 @@ def score_recorded_log(case: AppCase, model: str, log,
     The shared replay-side half of a cell evaluation: both
     :func:`evaluate_app_model` (which records in-process) and the corpus
     matrix's worker processes (which receive serializer-shipped logs)
-    score through this one path.
+    score through this one path - a :class:`DebugSession` adopting an
+    existing log.
     """
-    replayer = make_replayer(model, case, log)
-    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
-    n_causes = count_root_causes(case, log.failure,
-                                 max_attempts=cause_count_attempts)
-    return evaluate_replay(
-        model=model,
-        overhead=log.overhead_factor,
-        original_failure=log.failure,
-        original_cause=original_cause,
-        original_cycles=log.native_cycles,
-        replay=replay,
-        n_causes=n_causes,
-        diagnoser=Diagnoser(extra_rules=case.diagnoser_rules),
-    )
+    session = DebugSession(case, model).attach(log)
+    return session.score(original_cause=original_cause,
+                         cause_count_attempts=cause_count_attempts)
 
 
 def evaluate_app_model(case: AppCase, model: str,
@@ -135,30 +86,9 @@ def evaluate_app_model(case: AppCase, model: str,
     their planted defect), the replay is scored against that truth and
     the original-run re-diagnosis is skipped entirely.
     """
-    if seed is None:
-        seed = find_failing_seed(case, seeds)
-        if seed is None:
-            raise RuntimeError(f"{case.name}: no failing seed found")
-    recorder = make_recorder(model, case)
-    log = record_run(
-        case.program, recorder,
-        inputs={k: list(v) for k, v in case.inputs.items()},
-        seed=seed, scheduler=case.production_scheduler(seed),
-        io_spec=case.io_spec,
-        net_drop_rate=case.net_drop_rate)
-    if log.failure is None:
-        raise RuntimeError(
-            f"{case.name}: seed {seed} did not fail under recording")
-    if ground_truth_cause is not None:
-        original_cause = ground_truth_cause
-    else:
-        # Re-derive the original trace for diagnosis from a full trace
-        # run: recording does not perturb execution (observers are
-        # passive), so the recorded run and this run are the same
-        # execution.
-        original = case.run(seed)
-        original_cause = Diagnoser(
-            extra_rules=case.diagnoser_rules).diagnose(original.trace,
-                                                       original.failure)
-    return score_recorded_log(case, model, log, original_cause,
-                              cause_count_attempts=cause_count_attempts)
+    session = DebugSession(case, model, seed=seed)
+    session.record(seeds=seeds)
+    original_cause = (ground_truth_cause if ground_truth_cause is not None
+                      else REDIAGNOSE)
+    return session.score(original_cause=original_cause,
+                         cause_count_attempts=cause_count_attempts)

@@ -18,19 +18,24 @@ Expected shape (what the bench asserts):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.apps import ALL_APPS
-from repro.harness.experiments import MODEL_ORDER, evaluate_app_model
+from repro.harness.experiments import evaluate_app_model
+from repro.models import model_order
 from repro.util.tables import Table
 
 FIG1_APPS = ("racy_counter", "adder", "msg_server", "bank")
 
 
 def run_fig1(apps: Iterable[str] = FIG1_APPS,
-             models: Iterable[str] = MODEL_ORDER
+             models: Optional[Iterable[str]] = None
              ) -> Tuple[Table, Table]:
-    """Return (per-cell table, per-model summary table)."""
+    """Return (per-cell table, per-model summary table).
+
+    ``models`` defaults to the registry's core sweep order at call time.
+    """
+    models = tuple(models) if models is not None else model_order()
     cells = Table(["app", "model", "overhead_x", "DF", "DE", "DU",
                    "failure_reproduced"],
                   title="Fig.1 - per-bug determinism model comparison")
@@ -50,8 +55,9 @@ def run_fig1(apps: Iterable[str] = FIG1_APPS,
 
 
 def summarize_fig1(cells: Table,
-                   models: Iterable[str] = MODEL_ORDER) -> Table:
+                   models: Optional[Iterable[str]] = None) -> Table:
     """Average each model's overhead/DF/DU across the corpus."""
+    models = tuple(models) if models is not None else model_order()
     summary = Table(["model", "mean_overhead_x", "mean_DF", "mean_DU",
                      "bugs_reproduced"],
                     title="Fig.1 - relaxation trend (corpus averages)")

@@ -18,18 +18,15 @@ over a training run, not hard-coded - the §3.1.1 pipeline end to end.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 from repro.analysis.planes import classify_rates
-from repro.distsim.record import (FailureDistRecorder, RcseDistRecorder,
-                                  ValueDistRecorder)
-from repro.distsim.replay import (replay_forced_order, replay_rcse,
-                                  synthesize_failure)
 from repro.distsim.sim import FaultPlan
 from repro.hypertable.diagnosis import ALL_KNOWN_CAUSES, HyperDiagnoser
 from repro.hypertable.scenario import (HyperScenario, build_scenario,
                                        find_failing_seed, hyperlite_spec)
 from repro.metrics import evaluate_replay
+from repro.models import get_model
 from repro.util.tables import Table
 
 # Data-rate threshold (payload words per message) separating control
@@ -77,22 +74,20 @@ def run_fig2(seed: Optional[int] = None,
 
     for model in ("value", "rcse", "failure"):
         sim = builder(seed, FaultPlan.none())
-        recorder = _make_recorder(model, control_channels)
+        # The same registered models drive both substrates; the
+        # distributed case study goes through their dist hooks.
+        model_obj = get_model(model)
+        recorder = model_obj.make_dist_recorder(
+            control_channels=control_channels)
         recorder.attach(sim)
         trace = sim.run()
         trace.failure = hyperlite_spec(trace)
         log = recorder.finalize(trace)
         original_cause = diagnoser.diagnose(trace, trace.failure)
 
-        if model == "value":
-            replay = replay_forced_order(builder, log, hyperlite_spec)
-        elif model == "rcse":
-            replay = replay_rcse(builder, log, hyperlite_spec)
-        else:
-            replay = synthesize_failure(
-                builder, log, hyperlite_spec,
-                seeds=synthesis_seeds,
-                fault_plans=SYNTHESIS_FAULT_PLANS)
+        replay = model_obj.replay_dist(
+            builder, log, hyperlite_spec,
+            seeds=synthesis_seeds, fault_plans=SYNTHESIS_FAULT_PLANS)
 
         metrics = evaluate_replay(
             model=model,
@@ -112,13 +107,3 @@ def run_fig2(seed: Optional[int] = None,
             failure_reproduced=metrics.failure_reproduced,
             replay_cause=str(metrics.replay_cause or "-"))
     return table
-
-
-def _make_recorder(model: str, control_channels):
-    if model == "value":
-        return ValueDistRecorder()
-    if model == "rcse":
-        return RcseDistRecorder(control_channels=control_channels)
-    if model == "failure":
-        return FailureDistRecorder()
-    raise ValueError(f"unknown model {model!r}")

@@ -10,6 +10,12 @@ determinism target.
 message-drop failure can return an execution whose drops come from
 network congestion rather than the buffer race - same failure, different
 root cause, DF = 1/n.
+
+Both parables now run through :class:`~repro.models.DebugSession` - the
+adder under the registered ``output-only`` model variant, the message
+server under the core ``failure`` model with its synthesizer's
+environment guesses overridden (a gentler scheduler, a lossier network)
+via the session's config plane.
 """
 
 from __future__ import annotations
@@ -19,37 +25,17 @@ from typing import Optional
 from repro.analysis.rootcause import Diagnoser
 from repro.apps import adder, msg_server
 from repro.apps.base import find_failing_seed
-from repro.harness.experiments import count_root_causes
-from repro.metrics import evaluate_replay
-from repro.record import (FailureRecorder, OutputMode, OutputRecorder,
-                          record_run)
-from repro.replay import (ExecutionSynthesizer, OutputOnlyReplayer,
-                          SymbolicExecutor)
-from repro.replay.search import SearchBudget
+from repro.models import DebugSession
 from repro.util.tables import Table
 
 
 def run_sec2_adder() -> Table:
     """Output determinism on the buggy adder: same output, no failure."""
     case = adder.make_case()
-    seed = find_failing_seed(case)
-    recorder = OutputRecorder(OutputMode.OUTPUT_ONLY)
-    log = record_run(case.program, recorder, inputs=case.inputs,
-                     seed=seed, scheduler=case.production_scheduler(seed),
-                     io_spec=case.io_spec)
-    diagnoser = Diagnoser(extra_rules=case.diagnoser_rules)
-    original = case.run(seed)
-    original_cause = diagnoser.diagnose(original.trace, original.failure)
-
-    replayer = OutputOnlyReplayer(case.input_space,
-                                  budget=SearchBudget(max_attempts=200))
-    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
-    metrics = evaluate_replay(
-        model="output-only", overhead=log.overhead_factor,
-        original_failure=log.failure, original_cause=original_cause,
-        original_cycles=log.native_cycles, replay=replay,
-        n_causes=count_root_causes(case, log.failure),
-        diagnoser=diagnoser)
+    session = DebugSession(case, "output-only", search_attempts=200)
+    log = session.record()
+    metrics = session.score()
+    replay = session.replay_result
 
     replayed_inputs = (replay.trace.inputs_consumed.get("in")
                        if replay.trace else None)
@@ -74,6 +60,7 @@ def _symbolic_inference(case, log) -> Optional[dict]:
     Still subject to the same pitfall: the solver returns *some* inputs
     with output 5, with no reason to prefer the failing pair.
     """
+    from repro.replay import SymbolicExecutor
     from repro.util.intervals import Interval
     executor = SymbolicExecutor(case.program,
                                 input_domain=Interval(0, 4),
@@ -94,33 +81,23 @@ def run_sec2_msgserver() -> Table:
         return cause is not None and cause.kind == "data-race"
 
     seed = find_failing_seed(case, accept=race_caused)
-    log = record_run(case.program, FailureRecorder(), inputs=case.inputs,
-                     seed=seed, scheduler=case.production_scheduler(seed),
-                     io_spec=case.io_spec,
-                     net_drop_rate=case.net_drop_rate)
-    original = case.run(seed)
-    original_cause = diagnoser.diagnose(original.trace, original.failure)
-
     # ESD-style synthesis: the inference engine guesses an environment -
     # a gentler scheduler and a lossier network than production - so the
     # execution it finds tends to lose messages to congestion, not to
     # the race.  Same failure, different root cause.
-    replayer = ExecutionSynthesizer(
-        case.input_space, schedule_seeds=range(64),
-        net_drop_rate=max(case.net_drop_rate, 0.12),
-        switch_prob=0.02,
-        budget=SearchBudget(max_attempts=400))
-    replay = replayer.replay(case.program, log, io_spec=case.io_spec)
-    metrics = evaluate_replay(
-        model="failure", overhead=log.overhead_factor,
-        original_failure=log.failure, original_cause=original_cause,
-        original_cycles=log.native_cycles, replay=replay,
-        n_causes=count_root_causes(case, log.failure),
-        diagnoser=diagnoser)
+    session = DebugSession(
+        case, "failure", seed=seed,
+        schedule_seeds=64,
+        synthesis_attempts=400,
+        synthesis_switch_prob=0.02,
+        synthesis_net_drop_rate=max(case.net_drop_rate, 0.12))
+    session.record()
+    metrics = session.score()
 
     table = Table(["quantity", "value"],
                   title="§2-b root-cause mismatch (message server)")
-    table.add_row(quantity="original cause", value=str(original_cause))
+    table.add_row(quantity="original cause",
+                  value=str(metrics.original_cause))
     table.add_row(quantity="replay cause", value=str(metrics.replay_cause))
     table.add_row(quantity="failure reproduced",
                   value=str(metrics.failure_reproduced))

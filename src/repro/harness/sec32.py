@@ -6,17 +6,18 @@ with minimisation enabled, keeps the cheapest one it finds.  When the
 synthesized run is short enough to amortise the inference effort,
 DE = original / (inference + replay) rises - and with a long enough
 original, beyond 1.
+
+One :class:`~repro.models.DebugSession` records the long production run
+once; each strategy then replays the same shipped log through
+:func:`~repro.models.replay_log` with its own synthesis config.
 """
 
 from __future__ import annotations
 
-from repro.analysis.rootcause import Diagnoser
 from repro.apps import overflow
 from repro.apps.base import find_failing_seed
 from repro.metrics import debugging_efficiency
-from repro.record import FailureRecorder, record_run
-from repro.replay import ExecutionSynthesizer
-from repro.replay.search import SearchBudget
+from repro.models import DebugSession, ModelConfig, replay_log
 from repro.util.tables import Table
 
 
@@ -37,19 +38,17 @@ def run_sec32_efficiency(long_batch_factor: int = 40) -> Table:
     case.inputs = {"req": [long_batch_factor + 1] + benign + killer}
 
     seed = find_failing_seed(case, seeds=range(5))
-    log = record_run(case.program, FailureRecorder(), inputs=case.inputs,
-                     seed=seed, scheduler=case.production_scheduler(seed),
-                     io_spec=case.io_spec)
+    session = DebugSession(case, "failure", seed=seed)
+    log = session.record()
 
     table = Table(["strategy", "original_cycles", "debug_cycles", "DE",
                    "synthesized_len"],
                   title="§3.2 - debugging efficiency via synthesis")
     for minimize in (False, True):
-        replayer = ExecutionSynthesizer(
-            case.input_space, schedule_seeds=range(2),
-            budget=SearchBudget(max_attempts=120),
-            minimize=minimize, minimize_extra_attempts=24)
-        replay = replayer.replay(case.program, log, io_spec=case.io_spec)
+        config = ModelConfig.from_case(
+            case, schedule_seeds=2, synthesis_attempts=120,
+            synthesis_minimize=minimize, minimize_extra_attempts=24)
+        replay = replay_log(case.program, log, config=config)
         efficiency = debugging_efficiency(log.native_cycles,
                                           replay.total_debug_cycles)
         table.add_row(

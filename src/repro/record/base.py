@@ -69,14 +69,22 @@ def record_run(program: Program,
     logs whatever its determinism model pays for.
     """
     env = Environment(inputs=inputs, seed=seed, net_drop_rate=net_drop_rate)
-    machine = Machine(program, env=env,
-                      scheduler=scheduler or RandomScheduler(seed=seed),
+    scheduler = scheduler or RandomScheduler(seed=seed)
+    machine = Machine(program, env=env, scheduler=scheduler,
                       io_spec=io_spec, max_steps=max_steps)
     recorder.attach(machine)
     for observer in extra_observers:
         machine.add_observer(observer)
     machine.run()
     log = recorder.finalize(machine)
+    # Self-describing run identity: a shipped log must be attributable
+    # (and replayable) without out-of-band context, so the seed, the
+    # scheduler's identity, and the program identifier ride along.
     log.metadata.setdefault("seed", seed)
     log.metadata.setdefault("program_entry", program.entry)
+    log.metadata.setdefault("scheduler", {
+        "class": type(scheduler).__name__,
+        "seed": getattr(scheduler, "seed", seed),
+        "switch_prob": getattr(scheduler, "switch_prob", None),
+    })
     return log

@@ -10,6 +10,20 @@ Tuples (locations, sync events, selective-order entries) are encoded as
 lists and restored on load; failure reports and core dumps are encoded
 structurally.  The format is versioned so future log layouts can evolve.
 
+Format version 2 (current)
+--------------------------
+v2 logs are *self-describing*: ``record_run`` stamps the production
+scheduler's identity and :class:`~repro.models.session.DebugSession`
+stamps the model name, a case reference, and the replay-relevant config
+into ``metadata``, so a shipped log can be replayed by a worker that
+never saw the recorder (``repro.models.replay_log`` dispatches from the
+log alone).  v2 also canonicalizes metadata encoding: *any* tuple in
+the metadata tree round-trips as a tuple via a typed ``$tuple`` tag
+(v1 special-cased only ``dialup_sites``, silently decaying every other
+tuple to a list).  Version-1 logs still load - their metadata is decoded
+with the legacy rule - and replay to identical digests; future versions
+are rejected with the found version in the error.
+
 Key-type round trip
 -------------------
 JSON object keys are always strings, so ``json.dump`` silently turns
@@ -20,7 +34,8 @@ never canonical integer strings) is normalized recursively by
 :func:`_restore_int_keys`.  Without this, a loaded log is not the log
 that was saved: ``final_memory["threads"]`` comes back keyed by ``"1"``
 instead of ``1``.  Output channels are arbitrary guest string literals,
-so channel-keyed dicts are deliberately left untouched.
+so channel-keyed dicts are deliberately left untouched.  Metadata dict
+keys must be strings (values may nest tuples/lists/dicts freely).
 """
 
 from __future__ import annotations
@@ -28,11 +43,20 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
-from repro.errors import ReproError
+from repro.errors import LogFormatError
 from repro.record.log import RecordingLog
 from repro.vm.failures import CoreDump, FailureKind, FailureReport
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+# Typed tags for metadata values JSON cannot represent directly.  A
+# genuine dict whose only key collides with a tag is escaped behind
+# _DICT_TAG on encode, so the encoding is canonical (decode ∘ encode is
+# the identity on any metadata tree).
+_TUPLE_TAG = "$tuple"
+_DICT_TAG = "$dict"
+_TAGS = (_TUPLE_TAG, _DICT_TAG)
 
 
 def _encode_failure(failure: Optional[FailureReport]) -> Optional[dict]:
@@ -134,18 +158,73 @@ def log_to_dict(log: RecordingLog) -> Dict[str, Any]:
 
 
 def _encode_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
-    encoded = dict(metadata)
-    if "dialup_sites" in encoded:
-        encoded["dialup_sites"] = [list(e)
-                                   for e in encoded["dialup_sites"]]
-    return encoded
+    """Canonical v2 metadata encoding: tuples survive anywhere."""
+    return {key: _encode_meta_value(value)
+            for key, value in metadata.items()}
 
 
-def log_from_dict(data: Dict[str, Any]) -> RecordingLog:
-    """Decode a log produced by :func:`log_to_dict`."""
+def _encode_meta_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_meta_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_meta_value(v) for v in value]
+    if isinstance(value, dict):
+        encoded = {key: _encode_meta_value(v) for key, v in value.items()}
+        if len(encoded) == 1 and next(iter(encoded)) in _TAGS:
+            return {_DICT_TAG: encoded}
+        return encoded
+    return value
+
+
+def _decode_metadata(metadata: Dict[str, Any],
+                     version: int) -> Dict[str, Any]:
+    if version == 1:
+        # Legacy rule: only dialup_sites was tuple-typed; every other
+        # tuple had already decayed to a list when the log was written.
+        decoded = dict(metadata)
+        if "dialup_sites" in decoded:
+            decoded["dialup_sites"] = [tuple(e)
+                                       for e in decoded["dialup_sites"]]
+        return decoded
+    return {key: _decode_meta_value(value)
+            for key, value in metadata.items()}
+
+
+def _decode_meta_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if len(value) == 1:
+            tag, payload = next(iter(value.items()))
+            if tag == _TUPLE_TAG:
+                return tuple(_decode_meta_value(v) for v in payload)
+            if tag == _DICT_TAG:
+                return {key: _decode_meta_value(v)
+                        for key, v in payload.items()}
+        return {key: _decode_meta_value(v) for key, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_meta_value(v) for v in value]
+    return value
+
+
+def log_from_dict(data: Dict[str, Any],
+                  source: Optional[str] = None) -> RecordingLog:
+    """Decode a log produced by :func:`log_to_dict`.
+
+    ``source`` names where the data came from (a file path) and is
+    included in error messages.  Every supported version in
+    :data:`SUPPORTED_VERSIONS` loads; anything else raises
+    :class:`~repro.errors.LogFormatError` naming the found version.
+    """
+    origin = f" in {source!r}" if source else ""
+    if not isinstance(data, dict):
+        raise LogFormatError(
+            f"recording log{origin} is not a JSON object "
+            f"(found {type(data).__name__})")
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ReproError(f"unsupported log format version {version!r}")
+    if version not in SUPPORTED_VERSIONS:
+        raise LogFormatError(
+            f"unsupported log format version {version!r}{origin} "
+            f"(this reader supports versions "
+            f"{', '.join(map(str, SUPPORTED_VERSIONS))})")
     log = RecordingLog(model=data["model"])
     log.schedule = list(data.get("schedule", []))
     log.inputs = dict(data.get("inputs", {}))
@@ -185,16 +264,8 @@ def log_from_dict(data: Dict[str, Any]) -> RecordingLog:
     log.recording_cycles = data.get("recording_cycles", 0)
     log.total_steps = data.get("total_steps", 0)
     log.recorded_events = dict(data.get("recorded_events", {}))
-    log.metadata = _decode_metadata(data.get("metadata", {}))
+    log.metadata = _decode_metadata(data.get("metadata", {}), version)
     return log
-
-
-def _decode_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
-    decoded = dict(metadata)
-    if "dialup_sites" in decoded:
-        decoded["dialup_sites"] = [tuple(e)
-                                   for e in decoded["dialup_sites"]]
-    return decoded
 
 
 def save_log(log: RecordingLog, path: str) -> None:
@@ -204,6 +275,21 @@ def save_log(log: RecordingLog, path: str) -> None:
 
 
 def load_log(path: str) -> RecordingLog:
-    """Read a log from a JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return log_from_dict(json.load(handle))
+    """Read a log from a JSON file.
+
+    Failure modes - an unreadable path, a truncated or non-JSON file, a
+    future format version - all surface as
+    :class:`~repro.errors.LogFormatError` naming the path, never as raw
+    ``OSError``/``json.JSONDecodeError``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise LogFormatError(
+            f"cannot read recording log {path!r}: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise LogFormatError(
+            f"recording log {path!r} is not valid JSON "
+            f"(truncated or binary upload?): {exc}") from exc
+    return log_from_dict(data, source=path)

@@ -1,18 +1,27 @@
 """Recording logs survive a JSON round trip and stay replayable."""
 
 import json
+import pathlib
 
 import pytest
 
 from repro.apps import racy_counter
 from repro.apps.base import find_failing_seed
-from repro.errors import ReproError
+from repro.errors import LogFormatError, ReproError
 from repro.record import (FailureRecorder, FullRecorder, OutputMode,
                           OutputRecorder, SelectiveRecorder, ValueRecorder,
                           load_log, log_from_dict, log_to_dict, record_run,
                           save_log)
+from repro.record.serialize import FORMAT_VERSION
 from repro.replay import (DeterministicReplayer, SelectiveReplayer,
                           ValueReplayer)
+
+V1_FIXTURE = pathlib.Path(__file__).parent / "data" / (
+    "v1_racy_counter.rrlog.json")
+# Pinned when the fixture was generated; a v1 log must keep replaying to
+# this exact trace digest forever.
+V1_FIXTURE_DIGEST = (
+    "e8486c247194774e5011a0d311bc2919bad86cde36875785ff0ca60830023040")
 
 
 @pytest.fixture(scope="module")
@@ -151,6 +160,95 @@ def test_save_and_load_file(case, seed, tmp_path):
     assert restored.sync_order == log.sync_order
 
 
-def test_unknown_format_version_rejected():
-    with pytest.raises(ReproError):
-        log_from_dict({"format_version": 999, "model": "full"})
+def test_metadata_tuples_survive_anywhere(case, seed):
+    """v2 canonicalizes metadata: tuples round-trip in any position.
+
+    v1 special-cased only ``dialup_sites``; any other tuple-valued
+    metadata silently decayed to a list.
+    """
+    log = record(case, FullRecorder(), seed)
+    log.metadata["plain_tuple"] = (1, 2, 3)
+    log.metadata["nested"] = {"sites": [("main", 4), ("worker", 9)],
+                              "pair": ((1, 2), [3, (4,)])}
+    log.metadata["dialup_sites"] = [(1, "main@3"), (2, "worker@7")]
+    # Reserved tag collisions must be escaped, not corrupted.
+    log.metadata["tricky"] = {"$tuple": [1, 2], "$dict": {"x": (1,)}}
+    restored = roundtrip(log)
+    assert restored.metadata == log.metadata
+    assert restored.metadata["plain_tuple"] == (1, 2, 3)
+    assert restored.metadata["nested"]["pair"] == ((1, 2), [3, (4,)])
+    assert isinstance(restored.metadata["dialup_sites"][0], tuple)
+
+
+def test_v1_fixture_loads_and_replays_to_pinned_digest(case):
+    """The compatibility guarantee, on a committed v1-format file."""
+    log = load_log(str(V1_FIXTURE))
+    assert json.loads(V1_FIXTURE.read_text())["format_version"] == 1
+    assert log.model == "full"
+    replay = DeterministicReplayer().replay(case.program, log,
+                                            io_spec=case.io_spec)
+    assert replay.trace.fingerprint() == V1_FIXTURE_DIGEST
+    assert replay.failure is not None
+
+
+def test_v1_dict_loads_with_legacy_metadata_rule(case, seed):
+    """A v1 payload decodes: dialup_sites tuples restored, rest as-is."""
+    log = record(case, SelectiveRecorder(control_plane={"main"}), seed)
+    data = json.loads(json.dumps(log_to_dict(log)))
+    data["format_version"] = 1
+    # v1 encoders wrote metadata as raw JSON (tuples already decayed).
+    data["metadata"] = json.loads(json.dumps(
+        {"seed": seed, "dialup_sites": [[1, "main@3"]]}))
+    restored = log_from_dict(data)
+    assert restored.metadata["dialup_sites"] == [(1, "main@3")]
+    assert restored.selective_order == log.selective_order
+
+
+def test_future_format_version_rejected_with_version_in_message():
+    future = FORMAT_VERSION + 7
+    with pytest.raises(ReproError) as excinfo:
+        log_from_dict({"format_version": future, "model": "full"})
+    assert str(future) in str(excinfo.value)
+    assert str(FORMAT_VERSION) in str(excinfo.value), \
+        "error names what this reader supports"
+
+
+def test_future_version_file_error_names_the_path(tmp_path, case, seed):
+    log = record(case, FullRecorder(), seed)
+    data = log_to_dict(log)
+    data["format_version"] = 99
+    path = tmp_path / "future.rrlog.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(LogFormatError) as excinfo:
+        load_log(str(path))
+    assert str(path) in str(excinfo.value)
+    assert "99" in str(excinfo.value)
+
+
+def test_corrupt_file_wrapped_in_repro_error(tmp_path):
+    path = tmp_path / "truncated.rrlog.json"
+    path.write_text('{"format_version": 2, "model": "fu')
+    with pytest.raises(LogFormatError) as excinfo:
+        load_log(str(path))
+    assert str(path) in str(excinfo.value)
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_binary_file_wrapped_in_repro_error(tmp_path):
+    path = tmp_path / "binary.rrlog.json"
+    path.write_bytes(b"\xff\xfe not a log")
+    with pytest.raises(LogFormatError) as excinfo:
+        load_log(str(path))
+    assert str(path) in str(excinfo.value)
+
+
+def test_missing_file_wrapped_in_repro_error(tmp_path):
+    path = tmp_path / "nope.rrlog.json"
+    with pytest.raises(LogFormatError) as excinfo:
+        load_log(str(path))
+    assert str(path) in str(excinfo.value)
+
+
+def test_non_object_payload_rejected():
+    with pytest.raises(LogFormatError):
+        log_from_dict(["not", "a", "log"])
