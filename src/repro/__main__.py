@@ -17,8 +17,18 @@ Commands
                            (the production→workstation hop on real files)
 ``corpus list|show|run``   the generated scenario corpus: list cases for
                            a seed range, show one generated program, or
-                           run the full (case x model) matrix in
-                           parallel workers and write CORPUS_results.json
+                           run the full (case x model) matrix on a
+                           supervised worker fleet and write
+                           CORPUS_results.json.  ``run`` is
+                           fault-tolerant: ``--cell-timeout`` bounds a
+                           cell's wall clock, ``--retries`` bounds its
+                           retry budget, ``--run-dir`` journals
+                           completed cells, ``--resume <dir>`` continues
+                           an interrupted sweep without recomputing
+                           them, and damaged/tampered payloads are
+                           quarantined into the artifact's ``fleet``
+                           section (``--no-verify`` downgrades
+                           attestation refusals to warnings)
 ``bench``                  run the substrate benchmarks, print the
                            steps/sec tables, write BENCH_interpreter.json
                            (``--section interpreter|trace|search|corpus``
@@ -122,9 +132,10 @@ def _cmd_replay(args) -> int:
     from repro.models import DebugSession, resolve_case
     from repro.record import load_log
     try:
-        log = load_log(args.log)
+        log = load_log(args.log, verify=not args.no_verify)
         case = resolve_case(args.case) if args.case else None
-        session = DebugSession.receive(log, case=case)
+        session = DebugSession.receive(log, case=case,
+                                       verify=not args.no_verify)
         result = session.replay()
     except ReproError as exc:
         print(exc, file=sys.stderr)
@@ -159,19 +170,32 @@ def _cmd_corpus(args) -> int:
               f"(failing seed {case.failing_seed})")
         print(case.source)
         return 0
+    from repro.corpus.matrix import fleet_table
     models = tuple(args.models.split(",")) if args.models else None
+    run_dir = args.resume or args.run_dir
     results = run_matrix(range(args.seeds),
                          **({"models": models} if models else {}),
-                         jobs=args.jobs, path=args.output)
+                         jobs=args.jobs, path=args.output,
+                         cell_timeout=args.cell_timeout,
+                         retries=args.retries,
+                         run_dir=run_dir,
+                         resume=args.resume is not None,
+                         verify=not args.no_verify)
     cells, summary = corpus_tables(results)
     print(cells.render())
     print()
     print(summary.render())
+    fleet = results["fleet"]
+    if fleet["ok"] < fleet["cells"]:
+        print()
+        print(fleet_table(results).render())
     timing = results["timing"]
-    print(f"\n{timing['cells']} cells in "
+    print(f"\n{fleet['ok']}/{fleet['cells']} cells healthy in "
           f"{timing['record_seconds'] + timing['replay_seconds']:.2f}s "
           f"(record {timing['record_seconds']:.2f}s, "
-          f"replay {timing['replay_seconds']:.2f}s, jobs={args.jobs})")
+          f"replay {timing['replay_seconds']:.2f}s, jobs={args.jobs}"
+          + (f", resumed {fleet['resumed_cells']} journaled cells"
+             if fleet["resumed_cells"] else "") + ")")
     print(f"wrote {args.output}")
     return 0
 
@@ -239,6 +263,10 @@ def main(argv=None) -> int:
     replay_parser.add_argument("--case", default=None,
                                help="override the log's embedded case "
                                     "reference")
+    replay_parser.add_argument("--no-verify", action="store_true",
+                               help="downgrade log attestation failures "
+                                    "(tampered body, mismatched guest) "
+                                    "from refusal to warning")
     replay_parser.set_defaults(func=_cmd_replay)
     corpus_parser = commands.add_parser(
         "corpus", help="generated scenario corpus: list, show, or run the "
@@ -264,6 +292,27 @@ def main(argv=None) -> int:
                                  "(default: all five)")
     corpus_run.add_argument("--output", default="CORPUS_results.json",
                             help="where to write the results artifact")
+    corpus_run.add_argument("--cell-timeout", type=float, default=None,
+                            help="wall-clock seconds a cell may run "
+                                 "before its worker is killed and the "
+                                 "cell retried (default: unlimited; "
+                                 "engages supervised workers even at "
+                                 "--jobs 1)")
+    corpus_run.add_argument("--retries", type=int, default=2,
+                            help="retry budget per cell before it is "
+                                 "reported failed/timeout/quarantined "
+                                 "(deterministic exponential backoff)")
+    corpus_run.add_argument("--run-dir", default=None,
+                            help="journal completed cells to this "
+                                 "directory as they finish (enables a "
+                                 "later --resume)")
+    corpus_run.add_argument("--resume", default=None, metavar="DIR",
+                            help="resume an interrupted sweep from its "
+                                 "run directory: journaled cells are "
+                                 "not recomputed")
+    corpus_run.add_argument("--no-verify", action="store_true",
+                            help="downgrade shipped-log attestation "
+                                 "failures from quarantine to warning")
     corpus_parser.set_defaults(func=_cmd_corpus)
 
     bench_parser = commands.add_parser(

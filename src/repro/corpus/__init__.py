@@ -11,12 +11,22 @@ every (generated case x determinism model) cell in parallel worker
 processes, shipping recordings between processes through the JSON log
 serializer exactly like production logs ship to developer workstations.
 
+The runner is *supervised* (:mod:`repro.corpus.fleet`): worker crashes
+and hung cells are detected, struck cells retried with deterministic
+backoff, and exhausted cells reported - never raised - in the artifact's
+``fleet`` section; completed cells can be journaled to a run directory
+(:mod:`repro.corpus.journal`) so an interrupted sweep resumes without
+recomputation.
+
 More seeds = more scenarios; more jobs = more cores.  Same seeds = the
-same corpus, byte for byte.
+same corpus, byte for byte - supervised, faulty, or resumed.
 """
 
+from repro.corpus.fleet import (CellOutcome, CellStatus, FleetPolicy,
+                                WorkerSupervisor)
 from repro.corpus.generator import (BUG_CLASSES, GeneratedCase,
                                     generate_case, generate_corpus)
+from repro.corpus.journal import JournalState, RunJournal
 from repro.corpus.matrix import (CORPUS_RESULTS_PATH, corpus_tables,
                                  run_corpus_experiment, run_matrix)
 
@@ -24,4 +34,6 @@ __all__ = [
     "BUG_CLASSES", "GeneratedCase", "generate_case", "generate_corpus",
     "CORPUS_RESULTS_PATH", "corpus_tables", "run_corpus_experiment",
     "run_matrix",
+    "CellOutcome", "CellStatus", "FleetPolicy", "WorkerSupervisor",
+    "JournalState", "RunJournal",
 ]

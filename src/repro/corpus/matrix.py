@@ -10,27 +10,44 @@ processes, in two phases that mirror how replay debugging is deployed:
    cross the process boundary exactly as production logs ship to
    developer workstations.
 2. **Replay** (the "developer workstations"): workers receive the
-   serialized logs, decode them with the same serializer, replay each
-   one with its model's replayer, and score debugging fidelity against
-   the case's *ground-truth* root cause (no per-cell re-diagnosis of the
-   original run).
+   serialized logs, decode and *attestation-verify* them with the same
+   serializer, replay each one with its model's replayer, and score
+   debugging fidelity against the case's *ground-truth* root cause (no
+   per-cell re-diagnosis of the original run).
+
+The fleet is supervised (:mod:`repro.corpus.fleet`): cells have
+wall-clock timeouts, crashed or hung workers are detected and replaced,
+struck cells are retried with deterministic backoff, and a cell that
+exhausts its budget is *reported* in the artifact's ``fleet`` section
+(status ``failed``/``timeout``/``quarantined``) instead of killing the
+sweep.  A payload that arrives damaged - truncated, bit-flipped, or
+stale against its case - is refused by the attestation layer and
+quarantined.  On the all-healthy path the ``matrix``/``summary``
+sections are byte-identical to an unsupervised run's.
+
+Sweeps are resumable: with a run directory, completed cells are
+journaled as they finish (:mod:`repro.corpus.journal`) and a resumed
+run recomputes only cells with no terminal journal entry.
 
 Workers exchange recordings only through the serializer; everything else
 that crosses a process boundary is a corpus seed, a model name, or a
 plain metric row.  Cell rows are deterministic functions of (seed,
 model), so the same seeds produce an identical ``CORPUS_results.json``
-modulo the ``timing`` section.
+modulo the ``timing`` section, regardless of job count, supervision
+policy, or interruption/resume history.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from multiprocessing import Pool
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.corpus.fleet import (CellOutcome, CellStatus, FleetPolicy,
+                                WorkerSupervisor, run_inline)
 from repro.corpus.generator import GeneratedCase, generate_case
-from repro.errors import UnknownModelError
+from repro.corpus.journal import RunJournal
+from repro.errors import LogFormatError, UnknownModelError
 from repro.metrics import summarize_model_rows
 from repro.models import DebugSession, get_model, model_order
 from repro.util.tables import Table
@@ -48,7 +65,7 @@ CORPUS_CAUSE_ATTEMPTS = 60
 def _record_task(task: Tuple[int, Tuple[str, ...]]
                  ) -> Tuple[int, Dict[str, Any], List[Tuple[str, str]]]:
     """Phase 1: record the failing production run under every model."""
-    seed, models = task
+    seed, models = task[0], task[1]
     case = generate_case(seed)
     payloads: List[Tuple[str, str]] = []
     for model in models:
@@ -58,48 +75,97 @@ def _record_task(task: Tuple[int, Tuple[str, ...]]
     return seed, case.provenance(), payloads
 
 
+def _score_payload(seed: int, model: str, payload: str,
+                   verify: bool = True) -> Dict[str, Any]:
+    """Phase 2, one cell: decode/verify a shipped log, replay, score.
+
+    The session is rebuilt purely from the shipped payload - the worker
+    resolves the case from the log's embedded reference, exactly as a
+    remote workstation that never saw the recorder would.  Raises
+    :class:`~repro.errors.LogFormatError` (or its attestation subclass)
+    when the payload is damaged or stale - the caller quarantines.
+    """
+    session = DebugSession.receive(payload, verify=verify)
+    case = session.case
+    metrics = session.score(
+        original_cause=case.known_cause,  # ground truth, not re-diagnosis
+        cause_count_attempts=CORPUS_CAUSE_ATTEMPTS)
+    return {
+        "seed": seed,
+        "case": case.name,
+        "bug_class": case.bug_class,
+        "model": model,
+        "overhead_x": round(metrics.overhead, 3),
+        "DF": round(metrics.fidelity, 3),
+        "DE": round(metrics.efficiency, 4),
+        "DU": round(metrics.utility, 4),
+        "failure_reproduced": metrics.failure_reproduced,
+        "truth_matched": case.known_cause.same_cause(
+            metrics.replay_cause),
+        "n_causes": metrics.n_causes,
+        "replay_cause": str(metrics.replay_cause or "-"),
+    }
+
+
 def _replay_task(task: Tuple[int, List[Tuple[str, str]]]
                  ) -> Tuple[int, List[Dict[str, Any]]]:
-    """Phase 2: decode each shipped log, replay it, score against truth.
+    """Phase 2, strict form: every payload must score (no quarantine).
 
     One task carries *all* models of one seed so the expensive
-    cause-count enumeration is paid once per case per worker.  The
-    session is rebuilt purely from the shipped payload - the worker
-    resolves the case from the log's embedded reference, exactly as a
-    remote workstation that never saw the recorder would.
+    cause-count enumeration is paid once per case per worker.
     """
-    seed, payloads = task
+    seed, payloads = task[0], task[1]
+    return seed, [_score_payload(seed, model, payload)
+                  for model, payload in payloads]
+
+
+# -- supervised cell functions (payload, attempt) -----------------------------
+
+
+def _fleet_cell(payload: Tuple[str, tuple], attempt: int):
+    """The one worker entry point: dispatch on the phase tag.
+
+    A single function lets both phases share one warm, persistent
+    fleet - workers (and their decode caches) survive from the record
+    phase into the replay phase.
+    """
+    phase, body = payload
+    if phase == "record":
+        return _record_cell(body, attempt)
+    return _replay_cell(body, attempt)
+
+
+def _record_cell(body, attempt: int):
+    seed, models, faults = body
+    if faults is not None:
+        faults.inject(f"record:{seed}", attempt)
+    __, provenance, payloads = _record_task((seed, models))
+    if faults is not None:
+        payloads = [(model,
+                     faults.corrupt_payload(p, f"payload:{seed}:{model}"))
+                    for model, p in payloads]
+    return provenance, payloads
+
+
+def _replay_cell(body, attempt: int):
+    seed, payloads, verify, faults = body
+    if faults is not None:
+        faults.inject(f"replay:{seed}", attempt)
     rows: List[Dict[str, Any]] = []
+    quarantined: List[Dict[str, Any]] = []
     for model, payload in payloads:
-        session = DebugSession.receive(payload)
-        case = session.case
-        metrics = session.score(
-            original_cause=case.known_cause,  # ground truth, not re-diagnosis
-            cause_count_attempts=CORPUS_CAUSE_ATTEMPTS)
-        rows.append({
-            "seed": seed,
-            "case": case.name,
-            "bug_class": case.bug_class,
-            "model": model,
-            "overhead_x": round(metrics.overhead, 3),
-            "DF": round(metrics.fidelity, 3),
-            "DE": round(metrics.efficiency, 4),
-            "DU": round(metrics.utility, 4),
-            "failure_reproduced": metrics.failure_reproduced,
-            "truth_matched": case.known_cause.same_cause(
-                metrics.replay_cause),
-            "n_causes": metrics.n_causes,
-            "replay_cause": str(metrics.replay_cause or "-"),
-        })
-    return seed, rows
-
-
-def _map_tasks(worker, tasks: list, jobs: int) -> list:
-    """Run tasks in-order: sequentially, or on a worker pool."""
-    if jobs <= 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    with Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(worker, tasks, chunksize=1)
+        try:
+            rows.append(_score_payload(seed, model, payload,
+                                       verify=verify))
+        except LogFormatError as exc:
+            # Damaged or attestation-refused payload: quarantine the
+            # cell with a structured verdict - never a bare traceback,
+            # and never a silently divergent replay.
+            quarantined.append({
+                "seed": seed, "model": model,
+                "status": CellStatus.QUARANTINED,
+                "error": f"{type(exc).__name__}: {exc}"})
+    return rows, quarantined
 
 
 # -- the matrix ---------------------------------------------------------------
@@ -108,7 +174,15 @@ def _map_tasks(worker, tasks: list, jobs: int) -> list:
 def run_matrix(seeds: Iterable[int],
                models: Optional[Sequence[str]] = None,
                jobs: int = 1,
-               path: Optional[str] = None) -> Dict[str, Any]:
+               path: Optional[str] = None,
+               cell_timeout: Optional[float] = None,
+               retries: int = 2,
+               backoff: float = 0.05,
+               batch_size: Optional[int] = None,
+               run_dir: Optional[str] = None,
+               resume: bool = False,
+               faults=None,
+               verify: bool = True) -> Dict[str, Any]:
     """Evaluate every (generated case x model) cell; aggregate per model.
 
     Returns the full results dict (and writes it to ``path`` as JSON when
@@ -116,6 +190,16 @@ def run_matrix(seeds: Iterable[int],
     function of (seeds, models).  ``models`` defaults to the registry's
     core sweep order *at call time*, so a core model registered after
     this module was imported still joins the default sweep.
+
+    Fault tolerance (see module docstring): ``cell_timeout`` bounds each
+    dispatched task's wall clock, ``retries``/``backoff`` bound the
+    deterministic retry schedule, ``run_dir`` journals completed cells
+    for ``resume``, ``faults`` (a
+    :class:`~repro.harness.faults.FaultPlan`) injects test failures, and
+    ``verify=False`` downgrades attestation refusals to warnings.
+    Supervision engages for ``jobs > 1``, for any ``cell_timeout``, or
+    whenever faults are injected; the plain sequential path is otherwise
+    unchanged.
     """
     seed_list = sorted(set(seeds))
     if models is None:
@@ -130,18 +214,119 @@ def run_matrix(seeds: Iterable[int],
         raise UnknownModelError(f"unknown determinism models: {unknown}")
     models = tuple(models)
 
-    started = time.perf_counter()
-    recorded = _map_tasks(_record_task,
-                          [(seed, models) for seed in seed_list], jobs)
-    record_seconds = time.perf_counter() - started
+    journal = RunJournal(run_dir) if run_dir else None
+    state = journal.load() if (journal and resume) else None
+    done_rows: Dict[Tuple[int, str], Dict[str, Any]] = (
+        dict(state.rows) if state else {})
+    done_quarantines: Dict[Tuple[int, str], Dict[str, Any]] = (
+        dict(state.quarantines) if state else {})
+    done_cases: Dict[int, Dict[str, Any]] = (
+        dict(state.cases) if state else {})
+    done = set(done_rows) | set(done_quarantines)
 
-    replay_started = time.perf_counter()
-    replayed = _map_tasks(_replay_task,
-                          [(seed, payloads)
-                           for seed, __, payloads in recorded], jobs)
-    replay_seconds = time.perf_counter() - replay_started
+    # Cells still owed: per seed, the models with no terminal entry.
+    todo: Dict[int, Tuple[str, ...]] = {}
+    for seed in seed_list:
+        missing = tuple(m for m in models if (seed, m) not in done)
+        if missing:
+            todo[seed] = missing
 
-    rows = [row for __, seed_rows in replayed for row in seed_rows]
+    policy = FleetPolicy(cell_timeout=cell_timeout, retries=retries,
+                         backoff_base=backoff, batch_size=batch_size)
+    use_fleet = jobs > 1 or cell_timeout is not None or faults is not None
+
+    if journal:
+        journal.open()
+        if not (resume and state and state.header):
+            journal.write_header(seed_list, models)
+
+    statuses: Dict[Tuple[int, str], str] = {
+        cell: CellStatus.OK for cell in done_rows}
+    statuses.update({cell: entry.get("status", CellStatus.QUARANTINED)
+                     for cell, entry in done_quarantines.items()})
+    retried: Dict[str, int] = {}
+    fresh_rows: Dict[Tuple[int, str], Dict[str, Any]] = {}
+    fresh_quar: Dict[Tuple[int, str], Dict[str, Any]] = {}
+
+    def finish_record(outcome: CellOutcome, seed: int,
+                      missing: Tuple[str, ...]) -> None:
+        """Journal a landed recording; report a dead one per cell."""
+        if outcome.attempts > 1:
+            retried[outcome.key] = outcome.attempts
+        if outcome.ok:
+            provenance, __ = outcome.value
+            done_cases[seed] = provenance
+            if journal:
+                journal.append({"kind": "case", "seed": seed,
+                                "provenance": provenance})
+            return
+        for model in missing:
+            entry = {"seed": seed, "model": model,
+                     "status": outcome.status,
+                     "error": _short_error(outcome.error)}
+            fresh_quar[(seed, model)] = entry
+            statuses[(seed, model)] = outcome.status
+            if journal:
+                journal.append({"kind": "quarantine", "model": model,
+                                **{k: entry[k] for k in
+                                   ("seed", "status", "error")}})
+
+    def finish_replay(outcome: CellOutcome, seed: int,
+                      missing: Tuple[str, ...]) -> None:
+        """Journal each cell row / quarantine verdict as it lands."""
+        if outcome.attempts > 1:
+            retried[outcome.key] = outcome.attempts
+        if outcome.ok:
+            rows, quarantined = outcome.value
+            for row in rows:
+                cell = (seed, row["model"])
+                fresh_rows[cell] = row
+                statuses[cell] = CellStatus.OK
+                if journal:
+                    journal.append({"kind": "row", "seed": seed,
+                                    "model": row["model"], "row": row})
+            for entry in quarantined:
+                cell = (seed, entry["model"])
+                fresh_quar[cell] = entry
+                statuses[cell] = entry["status"]
+                if journal:
+                    journal.append({"kind": "quarantine", **entry})
+            return
+        for model in missing:
+            entry = {"seed": seed, "model": model,
+                     "status": outcome.status,
+                     "error": _short_error(outcome.error)}
+            fresh_quar[(seed, model)] = entry
+            statuses[(seed, model)] = outcome.status
+            if journal:
+                journal.append({"kind": "quarantine", **entry})
+
+    record_seconds = replay_seconds = 0.0
+    try:
+        if use_fleet:
+            with WorkerSupervisor(_fleet_cell, jobs=jobs,
+                                  policy=policy) as fleet:
+                record_seconds, replay_seconds = _run_phases(
+                    fleet.run, todo, faults, verify,
+                    finish_record, finish_replay)
+        else:
+            def run_tasks(tasks, on_result=None):
+                return run_inline(_fleet_cell, tasks, policy=policy,
+                                  on_result=on_result)
+            record_seconds, replay_seconds = _run_phases(
+                run_tasks, todo, faults, verify,
+                finish_record, finish_replay)
+    finally:
+        if journal:
+            journal.close()
+
+    all_rows = dict(done_rows)
+    all_rows.update(fresh_rows)
+    all_quar = dict(done_quarantines)
+    all_quar.update(fresh_quar)
+    rows = [all_rows[(seed, model)]
+            for seed in seed_list for model in models
+            if (seed, model) in all_rows]
     summary = summarize_model_rows(rows, models)
     for agg in summary.values():
         # The paper's trade-off in one number: how much debugging utility
@@ -150,10 +335,13 @@ def run_matrix(seeds: Iterable[int],
     results = {
         "artifact": "corpus-matrix",
         "config": {"seeds": seed_list, "models": list(models), "jobs": jobs},
-        "cases": [meta for __, meta, __p in recorded],
+        "cases": [done_cases[seed] for seed in seed_list
+                  if seed in done_cases],
         "matrix": rows,
         "summary": summary,
         "sweet_spot": _sweet_spot(summary),
+        "fleet": _fleet_report(seed_list, models, statuses, all_quar,
+                               retried, len(done)),
         "timing": {  # excluded from determinism comparisons
             "record_seconds": round(record_seconds, 3),
             "replay_seconds": round(replay_seconds, 3),
@@ -165,6 +353,89 @@ def run_matrix(seeds: Iterable[int],
             json.dump(results, handle, indent=2)
             handle.write("\n")
     return results
+
+
+def _run_phases(run_tasks, todo: Dict[int, Tuple[str, ...]],
+                faults, verify: bool,
+                finish_record, finish_replay) -> Tuple[float, float]:
+    """Record then replay every owed cell through one task runner.
+
+    ``run_tasks`` is either a supervised fleet's ``run`` or the inline
+    runner - both take ``[(key, payload)]`` plus an ``on_result`` hook
+    and return ``{key: CellOutcome}``.
+    """
+    key_meta = {f"record:{seed}": (seed, missing)
+                for seed, missing in todo.items()}
+
+    started = time.perf_counter()
+    record_tasks = [(f"record:{seed}",
+                     ("record", (seed, missing, faults)))
+                    for seed, missing in todo.items()]
+    record_outcomes = run_tasks(
+        record_tasks,
+        on_result=lambda outcome: finish_record(
+            outcome, *key_meta[outcome.key]))
+    record_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    replay_tasks = []
+    replay_meta = {}
+    for seed, missing in todo.items():
+        outcome = record_outcomes[f"record:{seed}"]
+        if not outcome.ok:
+            continue  # already reported per cell by finish_record
+        __, payloads = outcome.value
+        replay_tasks.append((f"replay:{seed}",
+                             ("replay", (seed, payloads, verify, faults))))
+        replay_meta[f"replay:{seed}"] = (seed, missing)
+    run_tasks(replay_tasks,
+              on_result=lambda outcome: finish_replay(
+                  outcome, *replay_meta[outcome.key]))
+    return record_seconds, time.perf_counter() - started
+
+
+def _short_error(error: str) -> str:
+    """The last non-empty line of a (possibly multi-line) traceback."""
+    lines = [line for line in (error or "").strip().splitlines() if line]
+    return lines[-1] if lines else ""
+
+
+def _fleet_report(seed_list, models, statuses, quarantines, retried,
+                  journaled: int) -> Dict[str, Any]:
+    """The sweep's health report: terminal status of every cell.
+
+    Healthy cells are counted, not listed, so an all-healthy artifact
+    stays compact and byte-stable; every injured cell appears with its
+    status and a one-line reason.
+    """
+    def cell_id(cell):
+        return f"{cell[0]}:{cell[1]}"
+
+    cells = [(seed, model) for seed in seed_list for model in models]
+    by_status: Dict[str, List[str]] = {
+        CellStatus.FAILED: [], CellStatus.TIMEOUT: [],
+        CellStatus.QUARANTINED: []}
+    ok = 0
+    for cell in cells:
+        status = statuses.get(cell, CellStatus.OK)
+        if status == CellStatus.OK:
+            ok += 1
+        else:
+            by_status.setdefault(status, []).append(cell_id(cell))
+    return {
+        "cells": len(cells),
+        "ok": ok,
+        "failed": sorted(by_status[CellStatus.FAILED]),
+        "timeout": sorted(by_status[CellStatus.TIMEOUT]),
+        "quarantined": [
+            {"cell": cell_id(cell), "status": entry["status"],
+             "error": entry.get("error", "")}
+            for cell, entry in sorted(quarantines.items(),
+                                      key=lambda kv: (kv[0][0],
+                                                      str(kv[0][1])))],
+        "retried": {key: retried[key] for key in sorted(retried)},
+        "resumed_cells": journaled,
+    }
 
 
 def _sweet_spot(summary: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
@@ -202,6 +473,21 @@ def corpus_tables(results: Dict[str, Any]) -> Tuple[Table, Table]:
     for model, agg in results["summary"].items():
         summary.add_row(model=model, sweet_spot=(model == sweet), **agg)
     return cells, summary
+
+
+def fleet_table(results: Dict[str, Any]) -> Table:
+    """Render the fleet health section (``corpus run`` prints it when
+    any cell is unhealthy)."""
+    table = Table(["cell", "status", "error"],
+                  title="Fleet health - injured cells")
+    fleet = results.get("fleet", {})
+    for status in (CellStatus.FAILED, CellStatus.TIMEOUT):
+        for cell in fleet.get(status, []):
+            table.add_row(cell=cell, status=status, error="")
+    for entry in fleet.get("quarantined", []):
+        table.add_row(cell=entry["cell"], status=entry["status"],
+                      error=entry.get("error", "")[:80])
+    return table
 
 
 def corpus_case_table(cases: Iterable[GeneratedCase]) -> Table:

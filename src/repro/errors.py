@@ -112,3 +112,34 @@ class LogFormatError(ReproError):
     truncated upload or a log from a newer producer is diagnosable from
     the error alone.
     """
+
+
+class LogAttestationError(LogFormatError):
+    """A recording log failed attestation against its stamped hashes.
+
+    v2 logs are stamped (:mod:`repro.record.attest`) with SHA-256 hashes
+    of the log body, the guest program, the production scheduler
+    identity, and the shipped replay config.  A payload whose recomputed
+    hash disagrees - a truncated or bit-flipped upload, or a log whose
+    guest source / config no longer matches the replaying workstation -
+    is *refused* instead of silently diverging at replay.
+
+    Subclasses :class:`LogFormatError` so "refuse bad log files" call
+    sites catch both with one handler.  The structured fields name what
+    mismatched:
+
+    ``field``      which attested hash disagreed (``content``, ``guest``,
+                   ``scheduler``, ``replay_config``)
+    ``expected``   the hash stamped into the log at record time
+    ``found``      the hash recomputed by the verifier
+    ``path``       where the log came from, when known
+    """
+
+    def __init__(self, message: str, field: str = "",
+                 expected: str = "", found: str = "",
+                 path: str = ""):
+        super().__init__(message)
+        self.field = field
+        self.expected = expected
+        self.found = found
+        self.path = path

@@ -360,26 +360,32 @@ def bench_search(repeats: int = 3) -> Table:
 
 CORPUS_BENCH_SEEDS = 6
 CORPUS_BENCH_MODELS = ("full", "failure", "rcse")
-CORPUS_BENCH_JOBS = (1, 2)
+# (jobs, seeds): the historical 6-seed sweep (fixed worker-spawn cost
+# dominates its ~0.1s of work) plus a 3-round sweep long enough for the
+# supervised fleet's warm workers and batched dispatch to amortize it -
+# the scale a real matrix run actually operates at.
+CORPUS_BENCH_CONFIGS = ((1, 6), (2, 6), (1, 18), (2, 18))
 
 
 def bench_corpus(repeats: int = 3) -> Table:
-    """Matrix cells/sec on a small corpus sweep, per worker count."""
+    """Matrix cells/sec per (worker count, sweep size)."""
     # Imported lazily: repro.corpus.matrix imports this package.
     from repro.corpus.matrix import run_matrix
     table = Table(["jobs", "seeds", "cells", "seconds", "cells_per_sec"],
                   title="Corpus matrix throughput (generated scenarios)")
-    seeds = range(CORPUS_BENCH_SEEDS)
     # Warmup: fills this process's generation cache and decode caches so
-    # the jobs=1 timing measures evaluation, not first-touch setup.
-    run_matrix(seeds, models=CORPUS_BENCH_MODELS, jobs=1)
-    for jobs in CORPUS_BENCH_JOBS:
+    # the jobs=1 timing measures evaluation, not first-touch setup (fleet
+    # workers fork from this process and inherit the warm caches).
+    run_matrix(range(max(s for __, s in CORPUS_BENCH_CONFIGS)),
+               models=CORPUS_BENCH_MODELS, jobs=1)
+    for jobs, n_seeds in CORPUS_BENCH_CONFIGS:
         best_rate = 0.0
         best_seconds = 0.0
         cells = 0
         for __ in range(max(1, repeats)):
             start = time.perf_counter()
-            results = run_matrix(seeds, models=CORPUS_BENCH_MODELS,
+            results = run_matrix(range(n_seeds),
+                                 models=CORPUS_BENCH_MODELS,
                                  jobs=jobs)
             elapsed = time.perf_counter() - start
             cells = results["timing"]["cells"]
@@ -387,7 +393,7 @@ def bench_corpus(repeats: int = 3) -> Table:
             if rate > best_rate:
                 best_rate = rate
                 best_seconds = elapsed
-        table.add_row(jobs=jobs, seeds=CORPUS_BENCH_SEEDS, cells=cells,
+        table.add_row(jobs=jobs, seeds=n_seeds, cells=cells,
                       seconds=best_seconds, cells_per_sec=round(best_rate))
     return table
 
@@ -512,10 +518,11 @@ def write_summary(interpreter: Optional[Table] = None,
             "speedup_vs_full": row["speedup_vs_full"],
         } for row in search}
     if corpus is not None:
-        summary["corpus"] = {f"jobs_{row['jobs']}": {
-            "cells": row["cells"],
-            "cells_per_sec": row["cells_per_sec"],
-        } for row in corpus}
+        summary["corpus"] = {
+            f"jobs_{row['jobs']}_seeds_{row['seeds']}": {
+                "cells": row["cells"],
+                "cells_per_sec": row["cells_per_sec"],
+            } for row in corpus}
     if dispatch is not None:
         summary["model_dispatch"] = {row["variant"]: {
             "constructions_per_sec": row["constructions_per_sec"],

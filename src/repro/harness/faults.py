@@ -1,0 +1,138 @@
+"""Deterministic, seed-driven fault injection for the matrix fleet.
+
+The fault-tolerance layer (:mod:`repro.corpus.fleet`,
+:mod:`repro.record.attest`) claims a sweep *converges to correct
+results* under worker crashes, cell hangs, and payload corruption.  That
+claim is only testable if the faults themselves are reproducible: a
+:class:`FaultPlan` is a pure function from ``(site, attempt)`` to a
+fault decision, seeded once, so the same plan injects the same faults at
+the same cells on every run - on any machine, under any job count.
+
+Fault classes:
+
+``crash``    the worker process dies mid-cell (``os._exit``), the
+             analogue of a segfault or OOM kill on a fleet host.
+``hang``     the cell blocks far past its wall-clock budget
+             (``time.sleep``), the analogue of a deadlocked or wedged
+             worker.
+``corrupt``  the shipped payload is damaged in transit - truncated or
+             bit-flipped - the analogue of a lossy upload from a
+             production host to the developer workstation.
+
+Crash/hang faults fire only on attempts below ``strikes``, so a
+supervisor with ``retries >= strikes`` always converges: the injured
+cell's retry runs clean and must produce a byte-identical row.  Corrupt
+faults damage the payload itself, which the attestation layer must
+*refuse* (quarantine), never replay.
+
+A plan is a frozen dataclass of primitives, so it crosses process
+boundaries inside task payloads and its decisions in a worker match the
+supervisor's expectations exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+FAULT_KINDS = ("crash", "hang", "corrupt")
+
+
+def _draw(seed: int, site: str) -> float:
+    """Deterministic uniform [0, 1) draw for one injection site."""
+    digest = hashlib.sha256(f"{seed}:{site}".encode("utf-8")).hexdigest()
+    return int(digest[:12], 16) / float(1 << 48)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of injected faults (see module docstring).
+
+    ``crash_rate``/``hang_rate``/``corrupt_rate`` are per-site
+    probabilities (evaluated deterministically from ``seed`` and the
+    site string); ``strikes`` is how many consecutive attempts a
+    process fault fires on before the site runs clean - keep it at or
+    below the supervisor's retry budget for a sweep that must converge.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    strikes: int = 1
+    hang_seconds: float = 30.0
+
+    def fault_at(self, site: str) -> Optional[str]:
+        """The fault class planted at ``site`` (or ``None``).
+
+        One draw decides among the classes via cumulative rates, so a
+        site suffers at most one fault class and per-class rates are
+        honored independently of each other's value.
+        """
+        draw = _draw(self.seed, site)
+        threshold = 0.0
+        for kind, rate in (("crash", self.crash_rate),
+                           ("hang", self.hang_rate),
+                           ("corrupt", self.corrupt_rate)):
+            threshold += rate
+            if draw < threshold:
+                return kind
+        return None
+
+    def process_fault(self, site: str, attempt: int) -> Optional[str]:
+        """The crash/hang fault due at ``(site, attempt)``, if any."""
+        if attempt >= self.strikes:
+            return None
+        kind = self.fault_at(site)
+        return kind if kind in ("crash", "hang") else None
+
+    def inject(self, site: str, attempt: int) -> None:
+        """Execute the process fault due at this site, if any.
+
+        Called from inside worker tasks.  ``crash`` exits the worker
+        process bypassing all cleanup (exit code 3, the closest Python
+        analogue of a host dying under the task); ``hang`` sleeps far
+        past any sane cell budget so the supervisor's wall-clock kill is
+        what ends it.
+        """
+        kind = self.process_fault(site, attempt)
+        if kind == "crash":
+            os._exit(3)
+        elif kind == "hang":
+            time.sleep(self.hang_seconds)
+
+    def corrupts(self, site: str) -> bool:
+        """Whether this plan damages the payload shipped from ``site``."""
+        return self.fault_at(site) == "corrupt"
+
+    def corrupt_payload(self, payload: str, site: str) -> str:
+        """Damage a shipped payload string, deterministically.
+
+        Alternates (by site draw) between truncation - the classic
+        interrupted upload - and a single flipped character in the body,
+        which leaves the JSON well-formed but the content hash wrong:
+        exactly the tamper class only attestation can catch.
+        """
+        if not self.corrupts(site) or not payload:
+            return payload
+        choice = _draw(self.seed + 1, site)
+        if choice < 0.5:  # truncation: drop the tail
+            return payload[:max(1, int(len(payload) * 0.6))]
+        # Bit-flip analogue: replace one digit in the log *body* so the
+        # payload still parses but no longer matches its content hash.
+        # The flip must land before the attestation block - damaging the
+        # stamp itself (its keys or hex) could dodge the very check this
+        # fault class exists to exercise.
+        limit = payload.find('"attestation"')
+        if limit < 0:
+            limit = len(payload)
+        start = int(choice * limit) % max(1, limit)
+        for probe in list(range(start, limit)) + list(range(1, start)):
+            ch = payload[probe]
+            if ch.isdigit():
+                flipped = str((int(ch) + 1) % 10)
+                return payload[:probe] + flipped + payload[probe + 1:]
+        return payload[:max(1, int(limit * 0.6))]  # no digit: truncate

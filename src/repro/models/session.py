@@ -31,11 +31,12 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.analysis.rootcause import (Diagnoser, RootCause,
                                       enumerate_root_causes)
-from repro.errors import RecordingFailedError, ReproError
+from repro.errors import (LogFormatError, RecordingFailedError, ReproError)
 from repro.metrics import DebuggingMetrics, evaluate_replay
 from repro.models.base import (DeterminismModel, ModelConfig, get_model,
                                replay_log)
 from repro.record import log_from_dict, log_to_dict, record_run
+from repro.record.attest import stamp_attestation, verify_attestation
 from repro.record.log import RecordingLog
 from repro.replay.base import ReplayResult
 from repro.replay.search import ExecutionSearch, SearchBudget
@@ -152,6 +153,7 @@ class DebugSession:
             config = config.override(**config_overrides)
         self.config = config
         self.seed = seed
+        self.verify = True  # refuse tampered logs at replay
         self.log: Optional[RecordingLog] = None
         self.replay_result: Optional[ReplayResult] = None
 
@@ -188,11 +190,15 @@ class DebugSession:
         return log
 
     def _stamp(self, log: RecordingLog) -> None:
-        """Make the log self-describing (the v2 identity fields)."""
+        """Make the log self-describing (the v2 identity fields), then
+        seal it: the attestation block hashes the guest program, the
+        scheduler identity, the replay config, and the whole log body,
+        and must therefore be the last metadata write."""
         log.metadata["determinism_model"] = self.model.name
         log.metadata["case"] = case_ref(self.case)
         log.metadata["replay_config"] = self.config.ship_dict(
             include_inputs=self.model.ships_base_inputs)
+        stamp_attestation(log, self.case.program)
 
     def ship(self) -> str:
         """Round-trip the log through JSON; hold the received copy.
@@ -211,18 +217,35 @@ class DebugSession:
     # -- workstation side ---------------------------------------------------
 
     @classmethod
-    def receive(cls, payload, case=None) -> "DebugSession":
+    def receive(cls, payload, case=None,
+                verify: bool = True) -> "DebugSession":
         """Build the workstation half from a shipped payload.
 
         ``payload`` is the JSON string (or an already-decoded
         :class:`RecordingLog`).  Without an explicit ``case``, the log's
         embedded case reference is resolved - the remote-matrix-worker
         path, where the receiver never saw the recorder.
+
+        The payload is *refused* when it is damaged or stale: truncated
+        or non-JSON strings raise
+        :class:`~repro.errors.LogFormatError`, and an attested log whose
+        recomputed hashes disagree with its stamp - a tampered body, or
+        a guest program that no longer matches the recording - raises
+        :class:`~repro.errors.LogAttestationError` rather than silently
+        diverging at replay.  ``verify=False`` downgrades attestation
+        failures to warnings.
         """
         if isinstance(payload, RecordingLog):
             log = payload
         else:
-            log = log_from_dict(json.loads(payload))
+            try:
+                data = json.loads(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError,
+                    TypeError) as exc:
+                raise LogFormatError(
+                    f"shipped payload is not valid JSON (truncated "
+                    f"upload?): {exc}") from exc
+            log = log_from_dict(data, source="shipped payload")
         if case is None:
             ref = log.metadata.get("case")
             if ref is None:
@@ -230,8 +253,11 @@ class DebugSession:
                     "log carries no case reference; pass the case "
                     "explicitly")
             case = resolve_case(ref)
+        verify_attestation(log, case.program, strict=verify,
+                           source="shipped payload")
         session = cls(case, log.model, seed=log.metadata.get("seed"),
                       config=ModelConfig.from_shipped(log, case=case))
+        session.verify = verify  # replay honors the receive-time choice
         session.log = log
         return session
 
@@ -249,7 +275,8 @@ class DebugSession:
             raise ReproError("nothing to replay: record() or receive() "
                              "first")
         self.replay_result = replay_log(self.case.program, self.log,
-                                        config=self.config)
+                                        config=self.config,
+                                        verify=self.verify)
         return self.replay_result
 
     def score(self, original_cause=REDIAGNOSE,

@@ -50,6 +50,11 @@ from repro.vm.failures import CoreDump, FailureKind, FailureReport
 FORMAT_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 
+# Keys a payload cannot be decoded without; everything else defaults.
+# (A truncated upload usually loses the tail of the object, but a
+# hand-edited or re-encoded one can lose anything.)
+REQUIRED_KEYS = ("model",)
+
 # Typed tags for metadata values JSON cannot represent directly.  A
 # genuine dict whose only key collides with a tag is escaped behind
 # _DICT_TAG on encode, so the encoding is canonical (decode ∘ encode is
@@ -225,6 +230,25 @@ def log_from_dict(data: Dict[str, Any],
             f"unsupported log format version {version!r}{origin} "
             f"(this reader supports versions "
             f"{', '.join(map(str, SUPPORTED_VERSIONS))})")
+    missing = [key for key in REQUIRED_KEYS if key not in data]
+    if missing:
+        raise LogFormatError(
+            f"recording log{origin} is missing required "
+            f"key(s) {missing} (truncated or hand-edited payload?)")
+    try:
+        return _decode_log(data, version)
+    except LogFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        # A structurally damaged payload (wrong value shapes, bad enum
+        # values) must never escape as a bare KeyError/TypeError: name
+        # the source so a corrupt shipped log is diagnosable.
+        raise LogFormatError(
+            f"recording log{origin} is malformed: "
+            f"{type(exc).__name__}: {exc}") from exc
+
+
+def _decode_log(data: Dict[str, Any], version: int) -> RecordingLog:
     log = RecordingLog(model=data["model"])
     log.schedule = list(data.get("schedule", []))
     log.inputs = dict(data.get("inputs", {}))
@@ -274,13 +298,20 @@ def save_log(log: RecordingLog, path: str) -> None:
         json.dump(log_to_dict(log), handle)
 
 
-def load_log(path: str) -> RecordingLog:
+def load_log(path: str, verify: bool = True) -> RecordingLog:
     """Read a log from a JSON file.
 
     Failure modes - an unreadable path, a truncated or non-JSON file, a
-    future format version - all surface as
+    future format version, a missing required key - all surface as
     :class:`~repro.errors.LogFormatError` naming the path, never as raw
-    ``OSError``/``json.JSONDecodeError``.
+    ``OSError``/``json.JSONDecodeError``/``KeyError``.
+
+    When the log carries an attestation block (every log produced by
+    :class:`~repro.models.session.DebugSession` does), its content hash
+    is re-verified: a tampered or bit-flipped file raises
+    :class:`~repro.errors.LogAttestationError`.  ``verify=False``
+    downgrades the refusal to a warning.  Unattested logs (v1, hand
+    built) load as before.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -292,4 +323,7 @@ def load_log(path: str) -> RecordingLog:
         raise LogFormatError(
             f"recording log {path!r} is not valid JSON "
             f"(truncated or binary upload?): {exc}") from exc
-    return log_from_dict(data, source=path)
+    log = log_from_dict(data, source=path)
+    from repro.record.attest import verify_attestation
+    verify_attestation(log, strict=verify, source=path)
+    return log

@@ -1,0 +1,88 @@
+"""The fault-injection harness is deterministic and self-limiting.
+
+The fleet's convergence tests (``test_matrix_fleet.py``) only prove
+anything if the injected faults are reproducible; these tests pin the
+:class:`~repro.harness.faults.FaultPlan` contract itself.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.faults import FAULT_KINDS, FaultPlan
+
+
+def test_fault_decisions_are_pure_functions_of_seed_and_site():
+    plan = FaultPlan(seed=7, crash_rate=0.3, hang_rate=0.3,
+                     corrupt_rate=0.3)
+    twin = FaultPlan(seed=7, crash_rate=0.3, hang_rate=0.3,
+                     corrupt_rate=0.3)
+    sites = [f"record:{i}" for i in range(50)]
+    assert [plan.fault_at(s) for s in sites] == \
+        [twin.fault_at(s) for s in sites]
+    other = FaultPlan(seed=8, crash_rate=0.3, hang_rate=0.3,
+                      corrupt_rate=0.3)
+    assert [plan.fault_at(s) for s in sites] != \
+        [other.fault_at(s) for s in sites]
+
+
+def test_rates_partition_one_draw():
+    """A site suffers at most one fault class; zero rates never fire;
+    rates summing to 1 always fire."""
+    plan = FaultPlan(seed=1, crash_rate=0.4, hang_rate=0.3,
+                     corrupt_rate=0.3)
+    kinds = {plan.fault_at(f"s{i}") for i in range(200)}
+    assert kinds == set(FAULT_KINDS)  # all classes drawn, never None
+    quiet = FaultPlan(seed=1)
+    assert all(quiet.fault_at(f"s{i}") is None for i in range(50))
+
+
+def test_strikes_bound_process_faults():
+    plan = FaultPlan(seed=2, crash_rate=1.0, strikes=2)
+    site = "record:0"
+    assert plan.process_fault(site, 0) == "crash"
+    assert plan.process_fault(site, 1) == "crash"
+    assert plan.process_fault(site, 2) is None, \
+        "attempt >= strikes runs clean: retries converge"
+
+
+def test_corrupt_is_not_a_process_fault():
+    plan = FaultPlan(seed=3, corrupt_rate=1.0)
+    assert plan.fault_at("payload:0:full") == "corrupt"
+    assert plan.process_fault("payload:0:full", 0) is None
+    assert plan.corrupts("payload:0:full")
+
+
+def test_corrupt_payload_is_deterministic_and_damaging():
+    plan = FaultPlan(seed=4, corrupt_rate=1.0)
+    payload = json.dumps({"format_version": 2, "model": "full",
+                          "schedule": list(range(40)),
+                          "metadata": {"attestation": {"x": 1}}})
+    damaged = plan.corrupt_payload(payload, "site")
+    assert damaged != payload
+    assert damaged == plan.corrupt_payload(payload, "site")
+
+
+def test_corrupt_payload_never_touches_the_attestation_block():
+    """A flip inside the stamp itself could dodge the very check this
+    fault class exists to exercise."""
+    plan = FaultPlan(seed=5, corrupt_rate=1.0)
+    suffix = '"attestation":{"content_sha256":"123456"}'
+    payload = '{"schedule":[9,9,9],"metadata":{' + suffix + "}}"
+    for site in (f"s{i}" for i in range(30)):
+        damaged = plan.corrupt_payload(payload, site)
+        assert damaged != payload
+        if len(damaged) == len(payload):  # flip, not truncation
+            assert damaged.endswith(suffix + "}}"), site
+
+
+def test_clean_sites_pass_payloads_through():
+    plan = FaultPlan(seed=6)  # all rates zero
+    assert plan.corrupt_payload("payload", "any") == "payload"
+
+
+def test_plan_crosses_process_boundaries_as_data():
+    import pickle
+    plan = FaultPlan(seed=9, crash_rate=0.2, hang_rate=0.1,
+                     corrupt_rate=0.3, strikes=2)
+    assert pickle.loads(pickle.dumps(plan)) == plan

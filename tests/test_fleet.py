@@ -1,0 +1,209 @@
+"""Worker supervision: crashes, hangs, retries, and clean shutdown.
+
+These tests drive :class:`~repro.corpus.fleet.WorkerSupervisor` with toy
+worker functions that misbehave on demand - raising, killing their own
+process (``os._exit``, the segfault/OOM analogue), or sleeping past the
+wall-clock budget - and assert the supervisor converges every cell to a
+terminal status without ever raising or leaking worker processes.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.corpus.fleet import (CellStatus, FleetPolicy, WorkerSupervisor,
+                                retry_seed, run_inline)
+
+# Fast backoff so retry tests stay sub-second.
+FAST = dict(backoff_base=0.001, backoff_cap=0.01)
+
+
+def toy(payload, attempt):
+    """Module-level worker fn (pickles by name): (kind, value)."""
+    kind, value = payload
+    if kind == "ok":
+        return value * 2
+    if kind == "boom":
+        raise ValueError(f"boom {value}")
+    if kind == "boom-once" and attempt == 0:
+        raise ValueError("first attempt only")
+    if kind == "crash" and attempt == 0:
+        os._exit(3)
+    if kind == "crash-always":
+        os._exit(3)
+    if kind == "hang" and attempt == 0:
+        time.sleep(60)
+    return value
+
+
+def run_fleet(tasks, jobs=2, **policy):
+    with WorkerSupervisor(toy, jobs=jobs,
+                          policy=FleetPolicy(**dict(FAST, **policy))) as sup:
+        return sup.run(tasks)
+
+
+def test_healthy_cells_complete_with_values():
+    tasks = [(f"t{i}", ("ok", i)) for i in range(7)]
+    outcomes = run_fleet(tasks)
+    assert set(outcomes) == {f"t{i}" for i in range(7)}
+    for i in range(7):
+        outcome = outcomes[f"t{i}"]
+        assert outcome.status == CellStatus.OK and outcome.ok
+        assert outcome.value == i * 2
+        assert outcome.attempts == 1 and outcome.strikes == []
+
+
+def test_raising_cell_is_failed_after_retry_budget():
+    outcomes = run_fleet([("bad", ("boom", 1)), ("good", ("ok", 5))],
+                         retries=2)
+    bad = outcomes["bad"]
+    assert bad.status == CellStatus.FAILED and not bad.ok
+    assert bad.attempts == 3  # 1 + 2 retries
+    assert bad.strikes == ["error"] * 3
+    assert "boom 1" in bad.error
+    assert outcomes["good"].ok  # the healthy cell is unaffected
+
+
+def test_transient_error_recovers_on_retry():
+    outcomes = run_fleet([("flaky", ("boom-once", 9))], retries=2)
+    flaky = outcomes["flaky"]
+    assert flaky.ok and flaky.value == 9
+    assert flaky.attempts == 2 and flaky.strikes == ["error"]
+
+
+def test_worker_crash_is_detected_and_cell_retried():
+    """A worker dying mid-cell (the segfault analogue) must not kill the
+    sweep: the cell is charged a crash strike and retried on a fresh
+    worker, where it succeeds."""
+    outcomes = run_fleet([("c", ("crash", 4)), ("h", ("ok", 1))],
+                         retries=2)
+    crashed = outcomes["c"]
+    assert crashed.ok and crashed.value == 4
+    assert crashed.attempts == 2 and crashed.strikes == ["crash"]
+    assert outcomes["h"].ok
+
+
+def test_cell_that_keeps_killing_workers_is_quarantined():
+    outcomes = run_fleet([("k", ("crash-always", 0)), ("h", ("ok", 2))],
+                         retries=1)
+    killer = outcomes["k"]
+    assert killer.status == CellStatus.QUARANTINED
+    assert killer.attempts == 2 and killer.strikes == ["crash", "crash"]
+    assert "died" in killer.error
+    assert outcomes["h"].ok
+
+
+def test_hung_cell_is_killed_at_the_wall_clock_budget():
+    started = time.monotonic()
+    outcomes = run_fleet([("slow", ("hang", 7)), ("h", ("ok", 3))],
+                         jobs=2, cell_timeout=0.5, retries=1)
+    elapsed = time.monotonic() - started
+    slow = outcomes["slow"]
+    assert slow.ok and slow.value == 7  # retry ran clean
+    assert slow.strikes == ["timeout"]
+    assert outcomes["h"].ok
+    assert elapsed < 30, "the 60s sleep must have been killed, not waited"
+
+
+def test_hung_cell_exhausting_retries_reports_timeout():
+    plan = [("slow", ("hang", 0))]
+    with WorkerSupervisor(hang_forever, jobs=1,
+                          policy=FleetPolicy(cell_timeout=0.3, retries=1,
+                                             **FAST)) as sup:
+        outcomes = sup.run(plan)
+    slow = outcomes["slow"]
+    assert slow.status == CellStatus.TIMEOUT
+    assert slow.strikes == ["timeout", "timeout"]
+    assert "wall-clock" in slow.error
+
+
+def hang_forever(payload, attempt):
+    time.sleep(60)
+
+
+def test_batch_survivors_are_requeued_after_a_crash():
+    """Cells batched behind a crasher were never attempted; they must be
+    requeued without a strike and still complete."""
+    tasks = [("k", ("crash-always", 0))] + [
+        (f"t{i}", ("ok", i)) for i in range(5)]
+    # jobs=1 with one big batch forces every cell behind the crasher.
+    outcomes = run_fleet(tasks, jobs=1, retries=1, batch_size=6)
+    assert outcomes["k"].status == CellStatus.QUARANTINED
+    for i in range(5):
+        outcome = outcomes[f"t{i}"]
+        assert outcome.ok and outcome.value == i * 2
+        assert outcome.strikes == []
+
+
+def test_context_exit_leaves_no_orphan_workers():
+    with WorkerSupervisor(toy, jobs=3) as sup:
+        sup.run([(f"t{i}", ("ok", i)) for i in range(6)])
+        procs = [w.process for w in sup.workers]
+        assert procs and all(p.is_alive() for p in procs)
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_exception_inside_the_block_still_reaps_workers():
+    procs = []
+    with pytest.raises(KeyboardInterrupt):
+        with WorkerSupervisor(toy, jobs=2) as sup:
+            sup.run([("t", ("ok", 1))])
+            procs = [w.process for w in sup.workers]
+            raise KeyboardInterrupt
+    assert procs and all(not p.is_alive() for p in procs)
+
+
+def test_on_result_streams_outcomes_as_they_finalize():
+    seen = []
+    with WorkerSupervisor(toy, jobs=2,
+                          policy=FleetPolicy(**FAST)) as sup:
+        sup.run([(f"t{i}", ("ok", i)) for i in range(4)],
+                on_result=seen.append)
+    assert sorted(o.key for o in seen) == [f"t{i}" for i in range(4)]
+    assert all(o.ok for o in seen)
+
+
+def test_duplicate_keys_are_rejected():
+    with WorkerSupervisor(toy, jobs=1) as sup:
+        with pytest.raises(ValueError):
+            sup.run([("t", ("ok", 1)), ("t", ("ok", 2))])
+
+
+# -- determinism of the retry machinery ---------------------------------------
+
+
+def test_retry_seed_is_a_pure_function():
+    assert retry_seed("record:3", 1) == retry_seed("record:3", 1)
+    assert retry_seed("record:3", 1) != retry_seed("record:3", 2)
+    assert retry_seed("record:3", 1) != retry_seed("record:4", 1)
+
+
+def test_backoff_is_deterministic_exponential_and_capped():
+    policy = FleetPolicy(backoff_base=0.05, backoff_cap=2.0)
+    first = policy.backoff("cell", 1)
+    assert first == policy.backoff("cell", 1)  # deterministic jitter
+    assert 0.05 <= first < 0.075               # base * [1, 1.5)
+    assert policy.backoff("cell", 2) > 0.05    # grows
+    assert policy.backoff("cell", 30) <= 3.0   # capped (2.0 * 1.5 max)
+    assert FleetPolicy(backoff_base=0.0).backoff("cell", 5) == 0.0
+
+
+def test_chunk_sizes_batches_for_the_fleet():
+    assert FleetPolicy(batch_size=4).chunk(100, 2) == 4
+    assert FleetPolicy().chunk(20, 2) == 5   # ~2 batches per worker
+    assert FleetPolicy().chunk(1, 8) == 1
+    assert FleetPolicy().chunk(0, 2) == 1
+
+
+# -- the inline (jobs<=1) degenerate fleet ------------------------------------
+
+
+def test_run_inline_matches_the_supervised_contract():
+    outcomes = run_inline(toy, [("a", ("ok", 3)), ("b", ("boom", 0)),
+                                ("c", ("boom-once", 8))],
+                          policy=FleetPolicy(retries=1, **FAST))
+    assert outcomes["a"].ok and outcomes["a"].value == 6
+    assert outcomes["b"].status == CellStatus.FAILED
+    assert outcomes["b"].attempts == 2
+    assert outcomes["c"].ok and outcomes["c"].attempts == 2

@@ -252,3 +252,35 @@ def test_missing_file_wrapped_in_repro_error(tmp_path):
 def test_non_object_payload_rejected():
     with pytest.raises(LogFormatError):
         log_from_dict(["not", "a", "log"])
+
+
+def test_missing_required_keys_rejected_not_keyerror():
+    """A syntactically-valid JSON object that is not a log must be
+    refused with a structured error, never a bare KeyError."""
+    with pytest.raises(LogFormatError) as excinfo:
+        log_from_dict({"format_version": FORMAT_VERSION})
+    assert "model" in str(excinfo.value)
+
+
+def test_missing_required_keys_file_error_names_the_path(tmp_path):
+    path = tmp_path / "empty.rrlog.json"
+    path.write_text(json.dumps({"format_version": FORMAT_VERSION}))
+    with pytest.raises(LogFormatError) as excinfo:
+        load_log(str(path))
+    assert str(path) in str(excinfo.value)
+
+
+def test_malformed_value_shapes_wrapped_in_log_format_error(
+        case, seed, tmp_path):
+    """Structurally damaged payloads (wrong value types inside a decoded
+    section) surface as LogFormatError naming the source, never as the
+    bare TypeError/KeyError the decoder tripped over."""
+    log = record(case, FullRecorder(), seed)
+    data = json.loads(json.dumps(log_to_dict(log)))
+    data["thread_reads"] = "not a mapping"
+    path = tmp_path / "mangled.rrlog.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(LogFormatError) as excinfo:
+        load_log(str(path))
+    assert str(path) in str(excinfo.value)
+    assert "malformed" in str(excinfo.value)
