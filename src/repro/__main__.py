@@ -22,13 +22,25 @@ Commands
                            CORPUS_results.json.  ``run`` is
                            fault-tolerant: ``--cell-timeout`` bounds a
                            cell's wall clock, ``--retries`` bounds its
-                           retry budget, ``--run-dir`` journals
-                           completed cells, ``--resume <dir>`` continues
-                           an interrupted sweep without recomputing
-                           them, and damaged/tampered payloads are
-                           quarantined into the artifact's ``fleet``
-                           section (``--no-verify`` downgrades
-                           attestation refusals to warnings)
+                           retry budget (exponential backoff capped at
+                           ``--max-backoff`` seconds), ``--run-dir``
+                           journals completed cells, ``--resume <dir>``
+                           continues an interrupted sweep without
+                           recomputing them (and refuses a journal
+                           written for different seeds/models), and
+                           damaged/tampered payloads are quarantined
+                           into the artifact's ``fleet`` section
+                           (``--no-verify`` downgrades attestation
+                           refusals to warnings).  ``--backend remote
+                           --listen HOST:PORT`` dispatches cells to
+                           ``repro fleet worker`` hosts over TCP under
+                           lease/heartbeat supervision, degrading to
+                           the local runner when no worker is connected
+                           for ``--worker-wait`` seconds
+``fleet worker``           serve matrix cells to a remote coordinator:
+                           ``repro fleet worker --connect HOST:PORT``
+                           connects, heartbeats its leases, and
+                           reconnects after dropped links
 ``bench``                  run the substrate benchmarks, print the
                            steps/sec tables, write BENCH_interpreter.json
                            (``--section interpreter|trace|search|corpus``
@@ -171,16 +183,41 @@ def _cmd_corpus(args) -> int:
         print(case.source)
         return 0
     from repro.corpus.matrix import fleet_table
+    from repro.errors import ReproError
     models = tuple(args.models.split(",")) if args.models else None
     run_dir = args.resume or args.run_dir
-    results = run_matrix(range(args.seeds),
-                         **({"models": models} if models else {}),
-                         jobs=args.jobs, path=args.output,
-                         cell_timeout=args.cell_timeout,
-                         retries=args.retries,
-                         run_dir=run_dir,
-                         resume=args.resume is not None,
-                         verify=not args.no_verify)
+    coordinator = None
+    try:
+        if args.backend == "remote":
+            # Build the coordinator here so the bound address prints
+            # before the (possibly long) wait for workers.
+            from repro.corpus.protocol import parse_address
+            from repro.corpus.remote import RemoteCoordinator
+            coordinator = RemoteCoordinator(
+                parse_address(args.listen), worker_wait=args.worker_wait)
+            host, port = coordinator.address
+            print(f"coordinator listening on {host}:{port} "
+                  f"(waiting up to {args.worker_wait:.0f}s for workers; "
+                  f"start them with `repro fleet worker --connect "
+                  f"{host}:{port}`)")
+        results = run_matrix(range(args.seeds),
+                             **({"models": models} if models else {}),
+                             jobs=args.jobs, path=args.output,
+                             cell_timeout=args.cell_timeout,
+                             retries=args.retries,
+                             max_backoff=args.max_backoff,
+                             run_dir=run_dir,
+                             resume=args.resume is not None,
+                             verify=not args.no_verify,
+                             backend=args.backend,
+                             coordinator=coordinator,
+                             worker_wait=args.worker_wait)
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    finally:
+        if coordinator is not None:
+            coordinator.close()
     cells, summary = corpus_tables(results)
     print(cells.render())
     print()
@@ -196,7 +233,38 @@ def _cmd_corpus(args) -> int:
           f"replay {timing['replay_seconds']:.2f}s, jobs={args.jobs}"
           + (f", resumed {fleet['resumed_cells']} journaled cells"
              if fleet["resumed_cells"] else "") + ")")
+    remote = fleet.get("remote")
+    if remote:
+        print(f"remote fleet: {remote['workers_seen']} workers, "
+              f"{remote['worker_disconnects']} disconnects, "
+              f"{remote['expired_leases']} expired leases, "
+              f"{remote['duplicate_results']} duplicates dropped"
+              + (f"; DEGRADED to local runner for "
+                 f"{remote['degraded_cells']} cells"
+                 if remote["degraded"] else ""))
     print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.corpus.protocol import parse_address
+    from repro.corpus.remote import serve_worker
+    from repro.errors import ReproError
+    try:
+        host, port = parse_address(args.connect)
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"worker serving matrix cells from {host}:{port} "
+          f"(^C to stop)")
+    clean = serve_worker(host, port, worker_id=args.id,
+                         reconnect_attempts=args.reconnect,
+                         reconnect_delay=args.reconnect_delay)
+    if not clean:
+        print(f"gave up: coordinator at {host}:{port} unreachable after "
+              f"{args.reconnect} attempts", file=sys.stderr)
+        return 1
+    print("coordinator stopped the fleet; exiting")
     return 0
 
 
@@ -302,6 +370,23 @@ def main(argv=None) -> int:
                             help="retry budget per cell before it is "
                                  "reported failed/timeout/quarantined "
                                  "(deterministic exponential backoff)")
+    corpus_run.add_argument("--max-backoff", type=float, default=30.0,
+                            help="hard ceiling in seconds on the "
+                                 "per-retry exponential backoff, "
+                                 "jitter included (default: 30)")
+    corpus_run.add_argument("--backend", choices=["local", "remote"],
+                            default="local",
+                            help="where cells run: local worker "
+                                 "processes, or remote `repro fleet "
+                                 "worker` hosts over TCP")
+    corpus_run.add_argument("--listen", default=":0", metavar="HOST:PORT",
+                            help="with --backend remote: accept workers "
+                                 "on this address (`:0` binds an "
+                                 "ephemeral port and prints it)")
+    corpus_run.add_argument("--worker-wait", type=float, default=10.0,
+                            help="with --backend remote: seconds with "
+                                 "zero connected workers before the "
+                                 "sweep degrades to the local runner")
     corpus_run.add_argument("--run-dir", default=None,
                             help="journal completed cells to this "
                                  "directory as they finish (enables a "
@@ -314,6 +399,31 @@ def main(argv=None) -> int:
                             help="downgrade shipped-log attestation "
                                  "failures from quarantine to warning")
     corpus_parser.set_defaults(func=_cmd_corpus)
+
+    fleet_parser = commands.add_parser(
+        "fleet", help="remote experiment fleet: serve cells to a "
+                      "coordinator over TCP")
+    fleet_commands = fleet_parser.add_subparsers(dest="fleet_command",
+                                                 required=True)
+    fleet_worker = fleet_commands.add_parser(
+        "worker", help="connect to a coordinator and serve leased "
+                       "matrix cells")
+    fleet_worker.add_argument("--connect", required=True,
+                              metavar="HOST:PORT",
+                              help="the coordinator's listen address "
+                                   "(printed by `repro corpus run "
+                                   "--backend remote`)")
+    fleet_worker.add_argument("--id", default=None,
+                              help="worker id reported to the "
+                                   "coordinator (default: host-pid)")
+    fleet_worker.add_argument("--reconnect", type=int, default=10,
+                              help="consecutive connection refusals "
+                                   "before giving up")
+    fleet_worker.add_argument("--reconnect-delay", type=float,
+                              default=0.5,
+                              help="seconds between reconnection "
+                                   "attempts")
+    fleet_parser.set_defaults(func=_cmd_fleet)
 
     bench_parser = commands.add_parser(
         "bench", help="run substrate benchmarks and print steps/sec tables")

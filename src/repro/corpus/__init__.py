@@ -18,8 +18,16 @@ backoff, and exhausted cells reported - never raised - in the artifact's
 (:mod:`repro.corpus.journal`) so an interrupted sweep resumes without
 recomputation.
 
-More seeds = more scenarios; more jobs = more cores.  Same seeds = the
-same corpus, byte for byte - supervised, faulty, or resumed.
+The fleet also scales past one host (:mod:`repro.corpus.remote`): a
+socket coordinator dispatches cells to ``repro fleet worker`` processes
+over length-prefixed JSON frames (:mod:`repro.corpus.protocol`) under
+lease-based at-least-once semantics - heartbeats renew leases, expired
+leases requeue deterministically, duplicate deliveries are deduplicated
+- and degrades to the local runner when the whole remote fleet is lost.
+
+More seeds = more scenarios; more jobs = more cores; more workers =
+more machines.  Same seeds = the same corpus, byte for byte -
+supervised, faulty, remote, degraded, or resumed.
 """
 
 from repro.corpus.fleet import (CellOutcome, CellStatus, FleetPolicy,
@@ -29,6 +37,7 @@ from repro.corpus.generator import (BUG_CLASSES, GeneratedCase,
 from repro.corpus.journal import JournalState, RunJournal
 from repro.corpus.matrix import (CORPUS_RESULTS_PATH, corpus_tables,
                                  run_corpus_experiment, run_matrix)
+from repro.corpus.remote import RemoteCoordinator, serve_worker
 
 __all__ = [
     "BUG_CLASSES", "GeneratedCase", "generate_case", "generate_corpus",
@@ -36,4 +45,5 @@ __all__ = [
     "run_matrix",
     "CellOutcome", "CellStatus", "FleetPolicy", "WorkerSupervisor",
     "JournalState", "RunJournal",
+    "RemoteCoordinator", "serve_worker",
 ]

@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import os
 import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -89,17 +90,23 @@ class FleetPolicy:
     cell_timeout: Optional[float] = None  # seconds of no progress -> kill
     retries: int = 2                      # retry budget per cell
     backoff_base: float = 0.05            # first retry delay (seconds)
-    backoff_cap: float = 2.0              # delay ceiling
+    backoff_cap: float = 30.0             # hard delay ceiling (seconds)
     batch_size: Optional[int] = None      # cells per dispatch (None: auto)
 
     def backoff(self, key: str, attempt: int) -> float:
-        """Exponential backoff with deterministic jitter (seconds)."""
+        """Exponential backoff with deterministic jitter (seconds).
+
+        The ceiling is a *hard* cap applied after jitter - no attempt
+        count, however large, can sleep longer than ``backoff_cap``
+        (the CLI's ``--max-backoff``) - and the exponent is clamped so
+        absurd attempt numbers cannot even build the intermediate
+        power.
+        """
         if self.backoff_base <= 0:
             return 0.0
-        delay = min(self.backoff_cap,
-                    self.backoff_base * (2 ** max(0, attempt - 1)))
+        delay = self.backoff_base * (2 ** min(max(0, attempt - 1), 62))
         jitter = (retry_seed(key, attempt) % 1000) / 2000.0  # [0, 0.5)
-        return delay * (1.0 + jitter)
+        return min(self.backoff_cap, delay * (1.0 + jitter))
 
     def chunk(self, n_tasks: int, jobs: int) -> int:
         """Cells per dispatch: explicit, or sized so each worker sees
@@ -233,20 +240,53 @@ class WorkerSupervisor:
         self.jobs = max(1, jobs)
         self.policy = policy or FleetPolicy()
         self.workers: List[_Worker] = []
+        self._prev_sigterm = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def __enter__(self) -> "WorkerSupervisor":
+        self._install_sigterm()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _install_sigterm(self) -> None:
+        """Turn SIGTERM into SystemExit while the fleet is up.
+
+        A KeyboardInterrupt or raised exception already unwinds through
+        ``__exit__`` and reaps every worker; a plain SIGTERM (systemd
+        stop, ``kill``, container teardown) would bypass Python cleanup
+        entirely and orphan the fleet.  Only the default disposition is
+        replaced - a caller's own handler is respected - and only from
+        the main thread, where signal handlers can be set.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return
+        try:
+            current = signal.getsignal(signal.SIGTERM)
+        except (ValueError, OSError):
+            return
+        if current not in (signal.SIG_DFL, None):
+            return
+
+        def _terminate(signum, frame):
+            raise SystemExit(128 + signum)
+
+        signal.signal(signal.SIGTERM, _terminate)
+        self._prev_sigterm = current
 
     def close(self) -> None:
         """Terminate and join every worker (idempotent)."""
         workers, self.workers = self.workers, []
         for worker in workers:
             worker.stop()
+        if self._prev_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._prev_sigterm)
+            except (ValueError, OSError):
+                pass
+            self._prev_sigterm = None
 
     def _spawn(self) -> _Worker:
         worker = _Worker(self.worker_fn)

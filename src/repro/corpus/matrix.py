@@ -27,7 +27,19 @@ sections are byte-identical to an unsupervised run's.
 
 Sweeps are resumable: with a run directory, completed cells are
 journaled as they finish (:mod:`repro.corpus.journal`) and a resumed
-run recomputes only cells with no terminal journal entry.
+run recomputes only cells with no terminal journal entry.  A resume
+whose requested seeds/models/format disagree with the journal header is
+refused with a structured error instead of silently merging two sweeps.
+
+With ``backend="remote"`` the cells are dispatched to socket-connected
+worker hosts (:mod:`repro.corpus.remote`) under lease-based
+at-least-once semantics - heartbeats renew leases, expired leases
+requeue with the same deterministic backoff, duplicate deliveries are
+deduplicated before journaling - and a coordinator that loses its whole
+fleet degrades to the local runner without recomputing journaled cells.
+Recordings cross the wire only as attested payload strings, so a frame
+tampered in transit is quarantined per-cell exactly like a corrupted
+file.
 
 Workers exchange recordings only through the serializer; everything else
 that crosses a process boundary is a corpus seed, a model name, or a
@@ -46,8 +58,11 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.corpus.fleet import (CellOutcome, CellStatus, FleetPolicy,
                                 WorkerSupervisor, run_inline)
 from repro.corpus.generator import GeneratedCase, generate_case
-from repro.corpus.journal import RunJournal
-from repro.errors import LogFormatError, UnknownModelError
+from repro.corpus.journal import JOURNAL_VERSION, RunJournal
+from repro.corpus.protocol import parse_address
+from repro.corpus.remote import RemoteCoordinator
+from repro.errors import (LogFormatError, ResumeMismatchError,
+                          UnknownModelError)
 from repro.metrics import summarize_model_rows
 from repro.models import DebugSession, get_model, model_order
 from repro.util.tables import Table
@@ -178,11 +193,16 @@ def run_matrix(seeds: Iterable[int],
                cell_timeout: Optional[float] = None,
                retries: int = 2,
                backoff: float = 0.05,
+               max_backoff: float = 30.0,
                batch_size: Optional[int] = None,
                run_dir: Optional[str] = None,
                resume: bool = False,
                faults=None,
-               verify: bool = True) -> Dict[str, Any]:
+               verify: bool = True,
+               backend: str = "local",
+               listen: Optional[str] = None,
+               coordinator: Optional[RemoteCoordinator] = None,
+               worker_wait: float = 10.0) -> Dict[str, Any]:
     """Evaluate every (generated case x model) cell; aggregate per model.
 
     Returns the full results dict (and writes it to ``path`` as JSON when
@@ -192,14 +212,24 @@ def run_matrix(seeds: Iterable[int],
     this module was imported still joins the default sweep.
 
     Fault tolerance (see module docstring): ``cell_timeout`` bounds each
-    dispatched task's wall clock, ``retries``/``backoff`` bound the
-    deterministic retry schedule, ``run_dir`` journals completed cells
-    for ``resume``, ``faults`` (a
-    :class:`~repro.harness.faults.FaultPlan`) injects test failures, and
-    ``verify=False`` downgrades attestation refusals to warnings.
-    Supervision engages for ``jobs > 1``, for any ``cell_timeout``, or
-    whenever faults are injected; the plain sequential path is otherwise
-    unchanged.
+    dispatched task's wall clock, ``retries``/``backoff``/``max_backoff``
+    bound the deterministic retry schedule, ``run_dir`` journals
+    completed cells for ``resume`` (a resumed run is *refused* with a
+    structured :class:`~repro.errors.ResumeMismatchError` when the
+    journal header's seeds/models/format disagree with the request),
+    ``faults`` (a :class:`~repro.harness.faults.FaultPlan`) injects test
+    failures, and ``verify=False`` downgrades attestation refusals to
+    warnings.  Supervision engages for ``jobs > 1``, for any
+    ``cell_timeout``, or whenever faults are injected; the plain
+    sequential path is otherwise unchanged.
+
+    ``backend="remote"`` (or a pre-built ``coordinator``) dispatches
+    cells to socket-connected ``repro fleet worker`` hosts instead of
+    local processes (:mod:`repro.corpus.remote`): ``listen`` is the
+    ``HOST:PORT`` to accept workers on, and when no worker is connected
+    for ``worker_wait`` seconds - none ever arrived, or every one died
+    mid-sweep - the run *degrades* to the local runner without losing
+    journaled progress.
     """
     seed_list = sorted(set(seeds))
     if models is None:
@@ -216,6 +246,9 @@ def run_matrix(seeds: Iterable[int],
 
     journal = RunJournal(run_dir) if run_dir else None
     state = journal.load() if (journal and resume) else None
+    if state is not None and state.header:
+        _check_resume_header(state.header, seed_list, models,
+                             journal.path)
     done_rows: Dict[Tuple[int, str], Dict[str, Any]] = (
         dict(state.rows) if state else {})
     done_quarantines: Dict[Tuple[int, str], Dict[str, Any]] = (
@@ -232,7 +265,9 @@ def run_matrix(seeds: Iterable[int],
             todo[seed] = missing
 
     policy = FleetPolicy(cell_timeout=cell_timeout, retries=retries,
-                         backoff_base=backoff, batch_size=batch_size)
+                         backoff_base=backoff, backoff_cap=max_backoff,
+                         batch_size=batch_size)
+    use_remote = backend == "remote" or coordinator is not None
     use_fleet = jobs > 1 or cell_timeout is not None or faults is not None
 
     if journal:
@@ -301,20 +336,45 @@ def run_matrix(seeds: Iterable[int],
             if journal:
                 journal.append({"kind": "quarantine", **entry})
 
+    def local_fallback(tasks, on_result=None):
+        """The degraded-mode runner: the same cells, local processes."""
+        if jobs > 1:
+            with WorkerSupervisor(_fleet_cell, jobs=jobs,
+                                  policy=policy) as fleet:
+                return fleet.run(tasks, on_result=on_result)
+        return run_inline(_fleet_cell, tasks, policy=policy,
+                          on_result=on_result)
+
     record_seconds = replay_seconds = 0.0
+    remote_stats: Optional[Dict[str, Any]] = None
     try:
-        if use_fleet:
+        if use_remote:
+            coord = coordinator
+            if coord is None:
+                spec = listen if listen is not None else ":0"
+                address = (parse_address(spec)
+                           if isinstance(spec, str) else tuple(spec))
+                coord = RemoteCoordinator(address,
+                                          worker_wait=worker_wait)
+            coord.configure(policy=policy, faults=faults,
+                            fallback=local_fallback)
+            try:
+                record_seconds, replay_seconds = _run_phases(
+                    coord.run, todo, faults, verify,
+                    finish_record, finish_replay)
+                remote_stats = dict(coord.stats)
+            finally:
+                if coordinator is None:
+                    coord.close()
+        elif use_fleet:
             with WorkerSupervisor(_fleet_cell, jobs=jobs,
                                   policy=policy) as fleet:
                 record_seconds, replay_seconds = _run_phases(
                     fleet.run, todo, faults, verify,
                     finish_record, finish_replay)
         else:
-            def run_tasks(tasks, on_result=None):
-                return run_inline(_fleet_cell, tasks, policy=policy,
-                                  on_result=on_result)
             record_seconds, replay_seconds = _run_phases(
-                run_tasks, todo, faults, verify,
+                local_fallback, todo, faults, verify,
                 finish_record, finish_replay)
     finally:
         if journal:
@@ -332,16 +392,25 @@ def run_matrix(seeds: Iterable[int],
         # The paper's trade-off in one number: how much debugging utility
         # a model buys per unit of recording overhead it charges.
         agg["DU_per_x"] = round(agg["mean_DU"] / agg["mean_overhead_x"], 4)
+    fleet_section = _fleet_report(seed_list, models, statuses, all_quar,
+                                  retried, len(done))
+    if remote_stats is not None:
+        # Remote transport health rides along only for remote runs, so
+        # the local artifact stays byte-identical to the committed one.
+        fleet_section["remote"] = remote_stats
+    config: Dict[str, Any] = {"seeds": seed_list, "models": list(models),
+                              "jobs": jobs}
+    if use_remote:
+        config["backend"] = "remote"
     results = {
         "artifact": "corpus-matrix",
-        "config": {"seeds": seed_list, "models": list(models), "jobs": jobs},
+        "config": config,
         "cases": [done_cases[seed] for seed in seed_list
                   if seed in done_cases],
         "matrix": rows,
         "summary": summary,
         "sweet_spot": _sweet_spot(summary),
-        "fleet": _fleet_report(seed_list, models, statuses, all_quar,
-                               retried, len(done)),
+        "fleet": fleet_section,
         "timing": {  # excluded from determinism comparisons
             "record_seconds": round(record_seconds, 3),
             "replay_seconds": round(replay_seconds, 3),
@@ -392,6 +461,32 @@ def _run_phases(run_tasks, todo: Dict[int, Tuple[str, ...]],
               on_result=lambda outcome: finish_replay(
                   outcome, *replay_meta[outcome.key]))
     return record_seconds, time.perf_counter() - started
+
+
+def _check_resume_header(header: Dict[str, Any], seed_list, models,
+                         journal_path: str) -> None:
+    """Refuse to resume a journal recorded for a different sweep.
+
+    Silently merging a journal whose seeds, models, or format differ
+    from the request would produce an artifact belonging to neither
+    run; every mismatch is named with both values so the caller can
+    either fix the invocation or start a fresh run directory.
+    """
+    checks = (
+        ("format", int(header.get("version", 0)), JOURNAL_VERSION),
+        ("seeds", [int(s) for s in header.get("seeds", [])],
+         list(seed_list)),
+        ("models", [str(m) for m in header.get("models", [])],
+         list(models)),
+    )
+    for field, journaled, requested in checks:
+        if journaled != requested:
+            raise ResumeMismatchError(
+                f"cannot resume from {journal_path!r}: the journal was "
+                f"written for {field}={journaled!r} but this run "
+                f"requests {field}={requested!r}; rerun with the "
+                f"original {field} or use a fresh --run-dir",
+                field=field, journal=journaled, requested=requested)
 
 
 def _short_error(error: str) -> str:

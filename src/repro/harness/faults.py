@@ -19,6 +19,22 @@ Fault classes:
              bit-flipped - the analogue of a lossy upload from a
              production host to the developer workstation.
 
+The remote fleet (:mod:`repro.corpus.remote`) adds *network* fault
+classes, drawn in their own site namespace so enabling them never moves
+the process/corrupt draws above:
+
+``kill``     the worker process dies the moment it accepts a lease
+             (``os._exit``) - a fleet host lost mid-sweep.
+``drop``     the connection dies mid-frame: the worker sends half of a
+             result frame and closes the socket - a partition during
+             transfer.
+``stall``    the worker wedges silently: heartbeats stop and the result
+             arrives only after the coordinator's lease has expired and
+             the cell was re-dispatched - the late copy exercises the
+             duplicate-delivery dedup path.
+``dup``      the result frame is delivered twice; the coordinator must
+             apply it once.
+
 Crash/hang faults fire only on attempts below ``strikes``, so a
 supervisor with ``retries >= strikes`` always converges: the injured
 cell's retry runs clean and must produce a byte-identical row.  Corrupt
@@ -39,6 +55,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 FAULT_KINDS = ("crash", "hang", "corrupt")
+NET_FAULT_KINDS = ("kill", "drop", "stall", "dup")
 
 
 def _draw(seed: int, site: str) -> float:
@@ -64,6 +81,11 @@ class FaultPlan:
     corrupt_rate: float = 0.0
     strikes: int = 1
     hang_seconds: float = 30.0
+    # Network fault classes (remote fleet transport layer).
+    kill_rate: float = 0.0
+    drop_rate: float = 0.0
+    stall_rate: float = 0.0
+    dup_rate: float = 0.0
 
     def fault_at(self, site: str) -> Optional[str]:
         """The fault class planted at ``site`` (or ``None``).
@@ -103,6 +125,35 @@ class FaultPlan:
             os._exit(3)
         elif kind == "hang":
             time.sleep(self.hang_seconds)
+
+    def net_fault_at(self, site: str) -> Optional[str]:
+        """The network fault class planted at a transport site.
+
+        Drawn in a separate namespace (``net!``) from :meth:`fault_at`,
+        so turning network rates on or off never changes which
+        process/corrupt faults the same seed plants.
+        """
+        draw = _draw(self.seed, "net!" + site)
+        threshold = 0.0
+        for kind, rate in (("kill", self.kill_rate),
+                           ("drop", self.drop_rate),
+                           ("stall", self.stall_rate),
+                           ("dup", self.dup_rate)):
+            threshold += rate
+            if draw < threshold:
+                return kind
+        return None
+
+    def net_fault(self, site: str, attempt: int) -> Optional[str]:
+        """The network fault due at ``(site, attempt)``, if any.
+
+        Gated by ``strikes`` exactly like process faults: the
+        re-dispatched attempt of an injured cell runs a clean transport,
+        so a coordinator with ``retries >= strikes`` always converges.
+        """
+        if attempt >= self.strikes:
+            return None
+        return self.net_fault_at(site)
 
     def corrupts(self, site: str) -> bool:
         """Whether this plan damages the payload shipped from ``site``."""

@@ -7,7 +7,11 @@ wall-clock budget - and assert the supervisor converges every cell to a
 terminal status without ever raising or leaking worker processes.
 """
 
+import json
 import os
+import signal
+import subprocess
+import sys
 import time
 
 import pytest
@@ -154,6 +158,71 @@ def test_exception_inside_the_block_still_reaps_workers():
     assert procs and all(not p.is_alive() for p in procs)
 
 
+def test_sigterm_unwinds_the_supervisor_and_reaps_workers(tmp_path):
+    """A plain SIGTERM (systemd stop, container teardown) must tear the
+    fleet down through ``__exit__``, not orphan it: the supervised
+    process exits 143 (SystemExit from the installed handler, not a raw
+    signal death) and its workers are gone."""
+    pid_file = tmp_path / "pids.json"
+    script = (
+        "import json, sys, time\n"
+        "from repro.corpus.fleet import WorkerSupervisor\n"
+        "def fn(payload, attempt):\n"
+        "    return payload\n"
+        "with WorkerSupervisor(fn, jobs=2) as sup:\n"
+        "    sup.run([('a', 1), ('b', 2), ('c', 3), ('d', 4)])\n"
+        "    pids = [w.process.pid for w in sup.workers]\n"
+        f"    open({str(pid_file)!r}, 'w').write(json.dumps(pids))\n"
+        "    time.sleep(60)\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), os.pardir,
+                                     "src")
+    proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+    try:
+        deadline = time.monotonic() + 30
+        while not pid_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        worker_pids = json.loads(pid_file.read_text())
+        assert worker_pids
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 143  # SystemExit(128 + SIGTERM)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        if all(not _alive(pid) for pid in worker_pids):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"orphaned fleet workers: "
+                         f"{[p for p in worker_pids if _alive(p)]}")
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def test_sigterm_handler_is_installed_then_restored():
+    previous = signal.getsignal(signal.SIGTERM)
+    assert previous in (signal.SIG_DFL, None), \
+        "test expects the default disposition outside the supervisor"
+    with WorkerSupervisor(toy, jobs=1) as sup:
+        installed = signal.getsignal(signal.SIGTERM)
+        assert installed not in (signal.SIG_DFL, None)
+        with pytest.raises(SystemExit) as excinfo:
+            installed(signal.SIGTERM, None)
+        assert excinfo.value.code == 128 + signal.SIGTERM
+        sup.run([("t", ("ok", 1))])  # the fleet still works under it
+    assert signal.getsignal(signal.SIGTERM) is previous
+
+
 def test_on_result_streams_outcomes_as_they_finalize():
     seen = []
     with WorkerSupervisor(toy, jobs=2,
@@ -187,6 +256,19 @@ def test_backoff_is_deterministic_exponential_and_capped():
     assert policy.backoff("cell", 2) > 0.05    # grows
     assert policy.backoff("cell", 30) <= 3.0   # capped (2.0 * 1.5 max)
     assert FleetPolicy(backoff_base=0.0).backoff("cell", 5) == 0.0
+
+
+def test_backoff_cap_is_a_hard_ceiling_after_jitter():
+    """The ``--max-backoff`` cap bounds the *final* delay - jitter can
+    never push past it - and absurd attempt counts neither overflow nor
+    stall computing the intermediate power."""
+    policy = FleetPolicy(backoff_base=0.05, backoff_cap=1.5)
+    for attempt in (1, 2, 6, 10, 64, 10 ** 6):
+        assert policy.backoff("cell", attempt) <= 1.5
+    assert policy.backoff("cell", 10 ** 6) == 1.5  # saturated exactly
+    # The default cap keeps an exhausted cell's wait civilized.
+    assert FleetPolicy().backoff_cap == 30.0
+    assert FleetPolicy().backoff("cell", 100) <= 30.0
 
 
 def test_chunk_sizes_batches_for_the_fleet():

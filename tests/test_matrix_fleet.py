@@ -13,9 +13,9 @@ import os
 
 import pytest
 
-from repro.corpus.journal import JOURNAL_NAME, RunJournal
+from repro.corpus.journal import JOURNAL_NAME, JOURNAL_VERSION, RunJournal
 from repro.corpus.matrix import run_matrix
-from repro.errors import ReproError
+from repro.errors import ReproError, ResumeMismatchError
 from repro.harness.faults import FaultPlan
 
 SEEDS = [0, 1, 2]
@@ -141,6 +141,81 @@ def test_corrupt_mid_journal_raises_structured_error(tmp_path):
         RunJournal(str(run_dir)).load()
     assert "line 2" in str(excinfo.value)
     assert str(path) in str(excinfo.value)
+
+
+def test_torn_header_line_is_tolerated_on_load_and_reopen(clean,
+                                                          tmp_path):
+    """A run that died while writing the very first journal line leaves
+    a torn *header*: loading ignores the fragment, reopening truncates
+    it, and the resumed sweep completes with a valid journal."""
+    run_dir = tmp_path / "sweep"
+    run_dir.mkdir()
+    path = run_dir / JOURNAL_NAME
+    path.write_text('{"kind": "header", "version": 1, "se')  # no newline
+    state = RunJournal(str(run_dir)).load()
+    assert state.header is None and state.done_cells() == set()
+    resumed = run_matrix(SEEDS, models=MODELS, jobs=2,
+                         run_dir=str(run_dir), resume=True)
+    assert resumed["matrix"] == clean["matrix"]
+    entries = [json.loads(line) for line in open(path)]
+    assert entries[0]["kind"] == "header", \
+        "reopen must truncate the fragment, not weld onto it"
+    assert sum(entry["kind"] == "header" for entry in entries) == 1
+    row_cells = [(entry["seed"], entry["model"]) for entry in entries
+                 if entry["kind"] == "row"]
+    assert sorted(row_cells) == sorted(
+        (seed, model) for seed in SEEDS for model in MODELS)
+
+
+def test_resume_with_different_seeds_is_refused_naming_both(tmp_path):
+    run_dir = str(tmp_path / "sweep")
+    run_matrix(SEEDS, models=MODELS, jobs=1, run_dir=run_dir)
+    with pytest.raises(ResumeMismatchError) as excinfo:
+        run_matrix([0, 7], models=MODELS, jobs=1,
+                   run_dir=run_dir, resume=True)
+    error = excinfo.value
+    assert error.field == "seeds"
+    assert error.journal == SEEDS and error.requested == [0, 7]
+    assert str(SEEDS) in str(error) and str([0, 7]) in str(error)
+    assert isinstance(error, ReproError)
+
+
+def test_resume_with_different_models_is_refused_naming_both(tmp_path):
+    run_dir = str(tmp_path / "sweep")
+    run_matrix(SEEDS[:1], models=MODELS, jobs=1, run_dir=run_dir)
+    with pytest.raises(ResumeMismatchError) as excinfo:
+        run_matrix(SEEDS[:1], models=("full",), jobs=1,
+                   run_dir=run_dir, resume=True)
+    error = excinfo.value
+    assert error.field == "models"
+    assert error.journal == list(MODELS) and error.requested == ["full"]
+    assert "failure" in str(error)
+
+
+def test_resume_with_different_journal_format_is_refused(tmp_path):
+    run_dir = tmp_path / "sweep"
+    run_matrix(SEEDS[:1], models=MODELS, jobs=1, run_dir=str(run_dir))
+    path = run_dir / JOURNAL_NAME
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = JOURNAL_VERSION + 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(ResumeMismatchError) as excinfo:
+        run_matrix(SEEDS[:1], models=MODELS, jobs=1,
+                   run_dir=str(run_dir), resume=True)
+    assert excinfo.value.field == "format"
+    assert excinfo.value.journal == JOURNAL_VERSION + 1
+    assert excinfo.value.requested == JOURNAL_VERSION
+
+
+def test_matching_resume_is_not_refused(tmp_path):
+    """The refusal must not misfire: identical seeds given in a
+    different order or as a different sequence type still resume."""
+    run_dir = str(tmp_path / "sweep")
+    first = run_matrix(SEEDS, models=MODELS, jobs=1, run_dir=run_dir)
+    resumed = run_matrix(tuple(reversed(SEEDS)), models=list(MODELS),
+                         jobs=1, run_dir=run_dir, resume=True)
+    assert resumed["matrix"] == first["matrix"]
 
 
 def test_inline_path_still_works_with_journal(tmp_path):
