@@ -14,7 +14,17 @@ Commands
                            ``corpus:<seed>``)
 ``replay log.json``        replay a shipped log file end to end; the
                            replayer is dispatched from the log alone
-                           (the production→workstation hop on real files)
+                           (the production→workstation hop on real
+                           files); exits 1 when the replay diverges
+                           from the recording, printing the first
+                           divergence point
+``diff a.json b.json``     first-divergence comparison of two recorded
+                           logs; ``repro diff log.json replay`` replays
+                           the log and diffs the replay against it;
+                           exits 1 on divergence
+``store ls|show|gc``       inspect or garbage-collect a
+                           content-addressed run store (``--dir``),
+                           as written by ``corpus run --store DIR``
 ``corpus list|show|run``   the generated scenario corpus: list cases for
                            a seed range, show one generated program, or
                            run the full (case x model) matrix on a
@@ -156,6 +166,7 @@ def _cmd_replay(args) -> int:
     reproduced = result.reproduced_failure(log.failure)
     cause = Diagnoser(extra_rules=case.diagnoser_rules).diagnose(
         result.trace, result.failure)
+    report = session.diff()
     print(f"log:                {args.log} ({log.summary()})")
     print(f"case:               {case.name}")
     print(f"model:              {log.model}")
@@ -165,7 +176,89 @@ def _cmd_replay(args) -> int:
     print(f"replay cause:       {cause}")
     print(f"attempts={result.attempts}  divergences={result.divergences}  "
           f"debug_cycles={result.total_debug_cycles}")
+    if report.diverged:
+        # The structured verdict, not a bare boolean: where the replay
+        # first left the recording, and the bucket it dedupes into.
+        print(f"replay DIVERGED:    {report.point.summary()}")
+        for field_diff in report.point.diffs:
+            print(f"  {field_diff}")
+        print(f"fingerprint:        {report.fingerprint()}")
+        return 1
+    print(f"replay matched:     first divergence: none "
+          f"(sections: {', '.join(report.sections)})")
     return 0
+
+
+def _cmd_diff(args) -> int:
+    """First-divergence comparison: two logs, or a log vs its replay."""
+    from repro.errors import ReproError
+    from repro.models import DebugSession, resolve_case
+    from repro.record import load_log
+    from repro.replay.diff import diff_logs
+    try:
+        log = load_log(args.log, verify=not args.no_verify)
+        if args.other == "replay":
+            case = resolve_case(args.case) if args.case else None
+            session = DebugSession.receive(log, case=case,
+                                           verify=not args.no_verify)
+            report = session.diff()
+            print(f"log:    {args.log} ({log.summary()})")
+            print(f"against: its own replay ({log.model} model contract)")
+        else:
+            other = load_log(args.other, verify=not args.no_verify)
+            report = diff_logs(log, other)
+            print(f"log:     {args.log} ({log.summary()})")
+            print(f"against: {args.other} ({other.summary()})")
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(report.render())
+    return 1 if report.diverged else 0
+
+
+def _cmd_store(args) -> int:
+    """Inspect or garbage-collect a content-addressed run store."""
+    import json as json_mod
+
+    from repro.errors import ReproError
+    from repro.store import RunStore
+    store = RunStore(args.dir)
+    try:
+        if args.store_command == "ls":
+            entries = store.entries()
+            for entry in entries:
+                kind = entry.get("kind", "?")
+                address = (entry.get("address") or "")[:12]
+                detail = ""
+                if kind == "row":
+                    detail = (f"seed={entry.get('seed')} "
+                              f"model={entry.get('model')} "
+                              f"code={str(entry.get('code_hash'))[:12]}")
+                elif kind == "case":
+                    detail = (f"seed={entry.get('seed')} "
+                              f"code={str(entry.get('code_hash'))[:12]}")
+                elif kind in ("bucket", "exemplar"):
+                    detail = (f"bucket={str(entry.get('bucket'))[:12]} "
+                              f"cell={entry.get('cell')}")
+                print(f"{kind:9s} {address:12s} {detail}")
+            stats = store.stats()
+            print(f"{stats['entries']} entries, {stats['objects']} objects "
+                  f"({stats['object_bytes']} bytes), "
+                  f"{stats['buckets']} dedupe buckets")
+            return 0
+        if args.store_command == "show":
+            print(json_mod.dumps(store.get_object(args.address),
+                                 indent=2, sort_keys=True))
+            return 0
+        stats = store.gc()
+        print(f"gc: kept {stats['kept']} objects, removed "
+              f"{stats['removed']} unreferenced"
+              + (f", {stats['orphaned']} index entries orphaned"
+                 if stats["orphaned"] else ""))
+        return 0
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 1
 
 
 def _cmd_corpus(args) -> int:
@@ -211,7 +304,8 @@ def _cmd_corpus(args) -> int:
                              verify=not args.no_verify,
                              backend=args.backend,
                              coordinator=coordinator,
-                             worker_wait=args.worker_wait)
+                             worker_wait=args.worker_wait,
+                             store=args.store)
     except ReproError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -232,7 +326,9 @@ def _cmd_corpus(args) -> int:
           f"(record {timing['record_seconds']:.2f}s, "
           f"replay {timing['replay_seconds']:.2f}s, jobs={args.jobs}"
           + (f", resumed {fleet['resumed_cells']} journaled cells"
-             if fleet["resumed_cells"] else "") + ")")
+             if fleet["resumed_cells"] else "")
+          + (f", {timing['store_hits']} store hits"
+             if timing.get("store_hits") else "") + ")")
     remote = fleet.get("remote")
     if remote:
         print(f"remote fleet: {remote['workers_seen']} workers, "
@@ -336,6 +432,42 @@ def main(argv=None) -> int:
                                     "(tampered body, mismatched guest) "
                                     "from refusal to warning")
     replay_parser.set_defaults(func=_cmd_replay)
+
+    diff_parser = commands.add_parser(
+        "diff", help="first-divergence comparison: two recorded logs, "
+                     "or a log against its own replay (`repro diff "
+                     "log.json replay`); exits 1 on divergence")
+    diff_parser.add_argument("log", help="path to a recorded log file")
+    diff_parser.add_argument("other",
+                             help="a second log file, or the literal "
+                                  "word `replay` to replay the first "
+                                  "log and diff against it")
+    diff_parser.add_argument("--case", default=None,
+                             help="override the log's embedded case "
+                                  "reference (replay mode)")
+    diff_parser.add_argument("--no-verify", action="store_true",
+                             help="downgrade log attestation failures "
+                                  "from refusal to warning")
+    diff_parser.set_defaults(func=_cmd_diff)
+
+    store_parser = commands.add_parser(
+        "store", help="inspect or garbage-collect a content-addressed "
+                      "run store (written by `corpus run --store`)")
+    store_commands = store_parser.add_subparsers(dest="store_command",
+                                                 required=True)
+    store_ls = store_commands.add_parser(
+        "ls", help="list the store index and summary stats")
+    store_show = store_commands.add_parser(
+        "show", help="pretty-print one stored object by content address")
+    store_show.add_argument("address",
+                            help="the object's full sha256 address")
+    store_gc = store_commands.add_parser(
+        "gc", help="delete objects no index entry references")
+    for sub in (store_ls, store_show, store_gc):
+        sub.add_argument("--dir", required=True,
+                         help="the store directory")
+    store_parser.set_defaults(func=_cmd_store)
+
     corpus_parser = commands.add_parser(
         "corpus", help="generated scenario corpus: list, show, or run the "
                        "(case x model) experiment matrix")
@@ -398,6 +530,12 @@ def main(argv=None) -> int:
     corpus_run.add_argument("--no-verify", action="store_true",
                             help="downgrade shipped-log attestation "
                                  "failures from quarantine to warning")
+    corpus_run.add_argument("--store", default=None, metavar="DIR",
+                            help="content-addressed run store: reuse "
+                                 "rows already stored under the current "
+                                 "code hash (incremental reruns) and "
+                                 "ship one exemplar per quarantine "
+                                 "dedupe bucket")
     corpus_parser.set_defaults(func=_cmd_corpus)
 
     fleet_parser = commands.add_parser(

@@ -65,6 +65,9 @@ from repro.errors import (LogFormatError, ResumeMismatchError,
                           UnknownModelError)
 from repro.metrics import summarize_model_rows
 from repro.models import DebugSession, get_model, model_order
+from repro.replay.diff import quarantine_bucket
+from repro.store import RunStore
+from repro.util.hashing import content_address
 from repro.util.tables import Table
 
 CORPUS_RESULTS_PATH = "CORPUS_results.json"
@@ -72,6 +75,30 @@ CORPUS_RESULTS_PATH = "CORPUS_results.json"
 # tiny and the sweep pays this per (case, failure), so keep ``n``
 # enumeration brisk.
 CORPUS_CAUSE_ATTEMPTS = 60
+
+
+def matrix_code_hash() -> str:
+    """The code-identity half of a stored cell's ``(seed, model,
+    code_hash)`` key.
+
+    A stored row is only reusable while the code that would recompute
+    it is unchanged, so the hash covers the case generator's source,
+    this module's source (recording, scoring, and row shape all live
+    here or below it), and the cause-enumeration budget.  Deliberately
+    conservative: any edit to either module invalidates every stored
+    row, which costs one redundant sweep - the opposite mistake serves
+    stale rows forever.
+    """
+    import inspect
+    import sys
+
+    from repro.corpus import generator
+    return content_address([
+        "corpus-matrix-code", 1,
+        inspect.getsource(generator),
+        inspect.getsource(sys.modules[__name__]),
+        CORPUS_CAUSE_ATTEMPTS,
+    ])
 
 
 # -- worker halves (top-level so they pickle by name) -------------------------
@@ -175,11 +202,15 @@ def _replay_cell(body, attempt: int):
         except LogFormatError as exc:
             # Damaged or attestation-refused payload: quarantine the
             # cell with a structured verdict - never a bare traceback,
-            # and never a silently divergent replay.
+            # and never a silently divergent replay.  The refused
+            # payload rides along so the coordinator can ship one
+            # exemplar per dedupe bucket to the run store; it is
+            # stripped before the entry reaches the journal/artifact.
             quarantined.append({
                 "seed": seed, "model": model,
                 "status": CellStatus.QUARANTINED,
-                "error": f"{type(exc).__name__}: {exc}"})
+                "error": f"{type(exc).__name__}: {exc}",
+                "payload": payload})
     return rows, quarantined
 
 
@@ -202,7 +233,8 @@ def run_matrix(seeds: Iterable[int],
                backend: str = "local",
                listen: Optional[str] = None,
                coordinator: Optional[RemoteCoordinator] = None,
-               worker_wait: float = 10.0) -> Dict[str, Any]:
+               worker_wait: float = 10.0,
+               store: Optional[Any] = None) -> Dict[str, Any]:
     """Evaluate every (generated case x model) cell; aggregate per model.
 
     Returns the full results dict (and writes it to ``path`` as JSON when
@@ -230,6 +262,17 @@ def run_matrix(seeds: Iterable[int],
     for ``worker_wait`` seconds - none ever arrived, or every one died
     mid-sweep - the run *degrades* to the local runner without losing
     journaled progress.
+
+    ``store`` (a directory path or :class:`~repro.store.RunStore`)
+    enables the content-addressed store: completed rows are stored
+    under ``(seed, model, code_hash)`` and any cell already stored
+    under the *current* code hash is loaded instead of recomputed
+    (store hits are reported in ``timing``, which determinism
+    comparisons exclude, so the artifact stays byte-identical to an
+    uncached run's); quarantined/failed recordings are bucketed by
+    divergence fingerprint with one exemplar payload shipped per
+    bucket.  Journal and store compose: the journal resumes *this*
+    run, the store dedupes across runs.
     """
     seed_list = sorted(set(seeds))
     if models is None:
@@ -256,6 +299,28 @@ def run_matrix(seeds: Iterable[int],
     done_cases: Dict[int, Dict[str, Any]] = (
         dict(state.cases) if state else {})
     done = set(done_rows) | set(done_quarantines)
+    journaled = len(done)
+
+    # Incremental reruns: any cell already stored under the current
+    # code hash is a hit - loaded, never recomputed.  Hits merge into
+    # ``done_rows`` (so the artifact is complete) but not into the
+    # journal's ``resumed_cells`` count, which stays this-run-only.
+    run_store: Optional[RunStore] = (
+        RunStore(store) if isinstance(store, str) else store)
+    code_hash = matrix_code_hash() if run_store is not None else None
+    store_hits: Dict[Tuple[int, str], Dict[str, Any]] = {}
+    if run_store is not None:
+        wanted = {(seed, model) for seed in seed_list for model in models}
+        for cell, address in run_store.stored_cells(code_hash).items():
+            if cell in wanted and cell not in done:
+                store_hits[cell] = run_store.get_object(address)
+        for seed in seed_list:
+            if seed not in done_cases:
+                provenance = run_store.get_case(seed, code_hash)
+                if provenance is not None:
+                    done_cases[seed] = provenance
+        done_rows.update(store_hits)
+        done |= set(store_hits)
 
     # Cells still owed: per seed, the models with no terminal entry.
     todo: Dict[int, Tuple[str, ...]] = {}
@@ -283,6 +348,25 @@ def run_matrix(seeds: Iterable[int],
     fresh_rows: Dict[Tuple[int, str], Dict[str, Any]] = {}
     fresh_quar: Dict[Tuple[int, str], Dict[str, Any]] = {}
 
+    def bucket_cell(entry: Dict[str, Any],
+                    payload: Optional[str] = None) -> None:
+        """Stamp an injured cell's dedupe bucket; ship one exemplar.
+
+        The bucket fingerprint hashes the failure's *shape* (model,
+        terminal status, normalized error), so every cell injured the
+        same way shares a bucket; the store keeps the first refused
+        payload per bucket and counts the rest.
+        """
+        entry["bucket"] = quarantine_bucket(
+            entry["model"], entry["status"], entry.get("error", ""))
+        if run_store is not None:
+            run_store.put_bucket_member(
+                entry["bucket"],
+                failure=[entry["status"], entry.get("error", "")],
+                fingerprint=entry["bucket"],
+                cell=f"{entry['seed']}:{entry['model']}",
+                payload={"recording": payload} if payload else None)
+
     def finish_record(outcome: CellOutcome, seed: int,
                       missing: Tuple[str, ...]) -> None:
         """Journal a landed recording; report a dead one per cell."""
@@ -294,17 +378,20 @@ def run_matrix(seeds: Iterable[int],
             if journal:
                 journal.append({"kind": "case", "seed": seed,
                                 "provenance": provenance})
+            if run_store is not None:
+                run_store.put_case(seed, code_hash, provenance)
             return
         for model in missing:
             entry = {"seed": seed, "model": model,
                      "status": outcome.status,
                      "error": _short_error(outcome.error)}
+            bucket_cell(entry)
             fresh_quar[(seed, model)] = entry
             statuses[(seed, model)] = outcome.status
             if journal:
                 journal.append({"kind": "quarantine", "model": model,
                                 **{k: entry[k] for k in
-                                   ("seed", "status", "error")}})
+                                   ("seed", "status", "error", "bucket")}})
 
     def finish_replay(outcome: CellOutcome, seed: int,
                       missing: Tuple[str, ...]) -> None:
@@ -320,7 +407,11 @@ def run_matrix(seeds: Iterable[int],
                 if journal:
                     journal.append({"kind": "row", "seed": seed,
                                     "model": row["model"], "row": row})
+                if run_store is not None:
+                    run_store.put_row(seed, row["model"], code_hash, row)
             for entry in quarantined:
+                payload = entry.pop("payload", None)
+                bucket_cell(entry, payload)
                 cell = (seed, entry["model"])
                 fresh_quar[cell] = entry
                 statuses[cell] = entry["status"]
@@ -331,6 +422,7 @@ def run_matrix(seeds: Iterable[int],
             entry = {"seed": seed, "model": model,
                      "status": outcome.status,
                      "error": _short_error(outcome.error)}
+            bucket_cell(entry)
             fresh_quar[(seed, model)] = entry
             statuses[(seed, model)] = outcome.status
             if journal:
@@ -393,7 +485,8 @@ def run_matrix(seeds: Iterable[int],
         # a model buys per unit of recording overhead it charges.
         agg["DU_per_x"] = round(agg["mean_DU"] / agg["mean_overhead_x"], 4)
     fleet_section = _fleet_report(seed_list, models, statuses, all_quar,
-                                  retried, len(done))
+                                  retried, journaled,
+                                  store=run_store)
     if remote_stats is not None:
         # Remote transport health rides along only for remote runs, so
         # the local artifact stays byte-identical to the committed one.
@@ -417,6 +510,11 @@ def run_matrix(seeds: Iterable[int],
             "cells": len(rows),
         },
     }
+    if run_store is not None:
+        # Store accounting rides in ``timing`` (the one section
+        # determinism comparisons exclude), so a store-backed rerun's
+        # artifact stays byte-identical to the committed one elsewhere.
+        results["timing"]["store_hits"] = len(store_hits)
     if path:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(results, handle, indent=2)
@@ -496,12 +594,16 @@ def _short_error(error: str) -> str:
 
 
 def _fleet_report(seed_list, models, statuses, quarantines, retried,
-                  journaled: int) -> Dict[str, Any]:
+                  journaled: int, store=None) -> Dict[str, Any]:
     """The sweep's health report: terminal status of every cell.
 
     Healthy cells are counted, not listed, so an all-healthy artifact
     stays compact and byte-stable; every injured cell appears with its
-    status and a one-line reason.
+    status, a one-line reason, and its dedupe bucket.  A ``buckets``
+    section (added only when cells were injured, so the all-healthy
+    artifact's bytes never move) groups them by divergence fingerprint
+    with the store's one-exemplar-per-bucket address when a store was
+    attached.
     """
     def cell_id(cell):
         return f"{cell[0]}:{cell[1]}"
@@ -517,20 +619,59 @@ def _fleet_report(seed_list, models, statuses, quarantines, retried,
             ok += 1
         else:
             by_status.setdefault(status, []).append(cell_id(cell))
-    return {
+    report = {
         "cells": len(cells),
         "ok": ok,
         "failed": sorted(by_status[CellStatus.FAILED]),
         "timeout": sorted(by_status[CellStatus.TIMEOUT]),
         "quarantined": [
             {"cell": cell_id(cell), "status": entry["status"],
-             "error": entry.get("error", "")}
+             "error": entry.get("error", ""),
+             "bucket": _entry_bucket(cell, entry)}
             for cell, entry in sorted(quarantines.items(),
                                       key=lambda kv: (kv[0][0],
                                                       str(kv[0][1])))],
         "retried": {key: retried[key] for key in sorted(retried)},
         "resumed_cells": journaled,
     }
+    buckets = _bucket_report(quarantines, store)
+    if buckets:
+        report["buckets"] = buckets
+    return report
+
+
+def _entry_bucket(cell, entry: Dict[str, Any]) -> str:
+    """The entry's dedupe bucket (recomputed for pre-bucket journals)."""
+    return entry.get("bucket") or quarantine_bucket(
+        entry.get("model", cell[1]), entry.get("status", ""),
+        entry.get("error", ""))
+
+
+def _bucket_report(quarantines: Dict[Tuple[int, str], Dict[str, Any]],
+                   store=None) -> List[Dict[str, Any]]:
+    """Injured cells grouped by divergence fingerprint.
+
+    One entry per bucket: the member cells, the representative error,
+    and - when a store shipped an exemplar - the exemplar's content
+    address, so a developer debugs one recording per failure class
+    instead of every copy of it.
+    """
+    grouped: Dict[str, Dict[str, Any]] = {}
+    for cell, entry in sorted(quarantines.items(),
+                              key=lambda kv: (kv[0][0], str(kv[0][1]))):
+        bucket = _entry_bucket(cell, entry)
+        view = grouped.setdefault(bucket, {
+            "bucket": bucket, "count": 0, "cells": [],
+            "status": entry["status"],
+            "error": entry.get("error", ""), "exemplar": None})
+        view["count"] += 1
+        view["cells"].append(f"{cell[0]}:{cell[1]}")
+    if store is not None:
+        stored = store.buckets()
+        for bucket, view in grouped.items():
+            if bucket in stored:
+                view["exemplar"] = stored[bucket].exemplar
+    return [grouped[bucket] for bucket in sorted(grouped)]
 
 
 def _sweet_spot(summary: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:

@@ -100,7 +100,7 @@ class UnknownModelError(ReproError, ValueError):
 
     Subclasses :class:`ValueError` as well because the model name is an
     ordinary bad argument to callers that take model names as strings
-    (the historical contract of ``make_recorder``/``run_matrix``).
+    (``get_model``/``run_matrix``).
     """
 
 

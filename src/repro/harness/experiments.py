@@ -1,16 +1,16 @@
 """Shared experiment machinery: evaluate one (app, model) cell.
 
-Everything here is now a thin layer over the model registry
+Everything here is a thin layer over the model registry
 (:mod:`repro.models`): determinism models are first-class registered
 objects, and the canonical record→ship→replay→score pipeline lives in
-:class:`~repro.models.session.DebugSession`.  ``make_recorder`` /
-``make_replayer`` remain as deprecated string-keyed shims for old
-callers; they construct through the registry and nothing else.
+:class:`~repro.models.session.DebugSession`.  Construct recorders and
+replayers through the registry -
+``get_model(name).make_recorder(config)`` - or let
+:func:`~repro.models.base.replay_log` dispatch from the log alone.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Iterable, Optional
 
 from repro.analysis.rootcause import RootCause
@@ -30,31 +30,6 @@ MODEL_ORDER = model_order()
 
 # Chronological relaxation order used by Figure 1's x-axis annotations.
 CHRONOLOGY = {name: index for index, name in enumerate(MODEL_ORDER)}
-
-
-def make_recorder(model: str, case: AppCase):
-    """Deprecated shim: instantiate a model's recorder via the registry.
-
-    Use ``get_model(model).make_recorder(ModelConfig.from_case(case))``
-    (or a :class:`~repro.models.session.DebugSession`) instead.
-    """
-    warnings.warn("make_recorder is deprecated; construct through "
-                  "repro.models.get_model", DeprecationWarning,
-                  stacklevel=2)
-    return get_model(model).make_recorder(ModelConfig.from_case(case))
-
-
-def make_replayer(model: str, case: AppCase, log):
-    """Deprecated shim: instantiate a model's replayer via the registry.
-
-    Use ``get_model(model).make_replayer(...)`` (or
-    :func:`repro.models.replay_log`, which dispatches from the log
-    alone) instead.
-    """
-    warnings.warn("make_replayer is deprecated; construct through "
-                  "repro.models.get_model", DeprecationWarning,
-                  stacklevel=2)
-    return get_model(model).make_replayer(ModelConfig.from_case(case), log)
 
 
 def score_recorded_log(case: AppCase, model: str, log,

@@ -170,6 +170,14 @@ class DeterminismModel:
     embed ``config.inputs`` in the shipped log - a record-nothing model
     must not ship the answers its replayer claims to infer.
 
+    ``replay_matches`` is the model's *observable contract*: the
+    recorded sections its replay promises to reproduce exactly, which
+    is what the first-divergence walker
+    (:func:`repro.replay.diff.diff_log_replay`) holds a replay to.  The
+    default holds a replay to every observable its log recorded;
+    models that deliberately relax an observable (RCSE re-simulates the
+    data plane, so recorded outputs are advisory) narrow it.
+
     ``dist_recorder_factory``/``dist_replay`` are the distributed-
     substrate hooks consumed by the Figure-2 Hypertable case study; VM
     models that have no distributed analogue leave them ``None``.
@@ -182,6 +190,8 @@ class DeterminismModel:
     replayer_factory: Callable[[ModelConfig, RecordingLog], Replayer]
     core: bool = True
     ships_base_inputs: bool = False
+    replay_matches: Tuple[str, ...] = ("schedule", "outputs",
+                                       "branch-path", "failure")
     dist_recorder_factory: Optional[Callable[..., Any]] = None
     dist_replay: Optional[Callable[..., ReplayResult]] = None
 

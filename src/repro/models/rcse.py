@@ -43,6 +43,10 @@ RCSE = register_model(DeterminismModel(
     # The RCSE replayer re-simulates the data plane, so the workload's
     # re-suppliable inputs are part of its legitimate replay config.
     ships_base_inputs=True,
+    # Debug determinism's observable contract is the failure (and the
+    # control plane, enforced internally); recorded data-plane outputs
+    # are advisory, so a divergence walk must not hold replay to them.
+    replay_matches=("failure",),
     dist_recorder_factory=_dist_recorder,
     dist_replay=_dist_replay,
 ))

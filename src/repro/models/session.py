@@ -39,6 +39,7 @@ from repro.record import log_from_dict, log_to_dict, record_run
 from repro.record.attest import stamp_attestation, verify_attestation
 from repro.record.log import RecordingLog
 from repro.replay.base import ReplayResult
+from repro.replay.diff import DivergenceReport, diff_log_replay
 from repro.replay.search import ExecutionSearch, SearchBudget
 
 # Sentinel distinguishing "re-diagnose the original run" from an
@@ -278,6 +279,22 @@ class DebugSession:
                                         config=self.config,
                                         verify=self.verify)
         return self.replay_result
+
+    def diff(self) -> "DivergenceReport":
+        """Where the replay first diverged from the recording (if at all).
+
+        Runs the replay when none is held, then walks the log's
+        recorded observables against it under the model's
+        ``replay_matches`` contract
+        (:func:`repro.replay.diff.diff_log_replay`) - the structured
+        answer that replaced the old boolean digest check: a
+        ``MATCHED`` report, or the first :class:`DivergencePoint` with
+        its step index, site, thread, field diffs, and stable
+        fingerprint.
+        """
+        if self.replay_result is None:
+            self.replay()
+        return diff_log_replay(self.log, self.replay_result)
 
     def score(self, original_cause=REDIAGNOSE,
               cause_count_attempts: int = 120) -> DebuggingMetrics:

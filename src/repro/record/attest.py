@@ -32,24 +32,17 @@ attestation is evidence when present, not a gate on old artifacts.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import LogAttestationError
+# Attestation, the run store, and divergence fingerprints must hash
+# through one implementation (stamps are byte-compatible by test);
+# re-exported here for the existing import path.
+from repro.util.hashing import canonical_json, sha256_hex  # noqa: F401
 
 ATTESTATION_KEY = "attestation"
 ATTESTATION_ALGORITHM = "sha256"
-
-
-def canonical_json(value: Any) -> str:
-    """The one deterministic JSON encoding hashes are computed over."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
-
-
-def sha256_hex(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def guest_fingerprint(program) -> str:

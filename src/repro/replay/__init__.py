@@ -27,9 +27,17 @@ from repro.replay.synthesis import ExecutionSynthesizer
 from repro.replay.selective_replay import SelectiveReplayer
 from repro.replay.solver import Constraint, ConstraintSystem, SymVar
 from repro.replay.symbolic import SymbolicExecutor, PathResult
+from repro.replay.diff import (
+    DiffStatus, DivergencePoint, DivergenceReport, FieldDiff,
+    diff_log_replay, diff_logs, diff_traces, quarantine_bucket,
+    replay_and_diff,
+)
 
 __all__ = [
     "ReplayResult", "Replayer", "TidMapper",
+    "DiffStatus", "DivergencePoint", "DivergenceReport", "FieldDiff",
+    "diff_traces", "diff_logs", "diff_log_replay", "replay_and_diff",
+    "quarantine_bucket",
     "DeterministicReplayer", "ValueReplayer",
     "ExecutionSearch", "InputSpace", "SearchBudget",
     "OutputOnlyReplayer", "OdrReplayer",

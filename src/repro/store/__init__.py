@@ -1,0 +1,14 @@
+"""Content-addressed run store (see :mod:`repro.store.runstore`).
+
+One artifact, one SHA-256 name; an append-only index by
+``(failure signature, divergence fingerprint)`` so a fleet dedupes its
+failure recordings into buckets and ships one exemplar per bucket, and
+an incremental-rerun lookup so a sweep skips every
+``(seed, model, code_hash)`` cell it has already computed.
+"""
+
+from repro.store.runstore import (BucketView, INDEX_NAME, OBJECTS_DIR,
+                                  RunStore, STORE_VERSION)
+
+__all__ = ["RunStore", "BucketView", "INDEX_NAME", "OBJECTS_DIR",
+           "STORE_VERSION"]

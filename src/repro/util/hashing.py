@@ -1,0 +1,47 @@
+"""The one canonical-JSON + SHA-256 implementation.
+
+Three subsystems hash structured values and must agree byte-for-byte:
+log attestation (:mod:`repro.record.attest` stamps and re-verifies
+shipped logs), the content-addressed run store (:mod:`repro.store`
+keys every object by the hash of its canonical encoding), and
+divergence fingerprints (:mod:`repro.replay.diff` buckets failure
+recordings by where and how they diverged).  A drift between two
+private copies of "canonical JSON" would silently split those worlds -
+an attested log the store addresses differently, a bucket fingerprint
+that changes between releases - so the encoding lives here, once.
+
+``canonical_json`` is deliberately strict: sorted keys, no whitespace,
+and only JSON-representable values (a non-JSON-able value raises
+``TypeError`` at the call site instead of hashing a lossy repr).
+Attestation stamps computed through these helpers are byte-identical
+to the pre-factoring implementation (pinned by
+``tests/test_attestation.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import json
+
+
+def canonical_json(value: Any) -> str:
+    """The one deterministic JSON encoding hashes are computed over."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of a string (UTF-8 encoded)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def content_address(value: Any) -> str:
+    """The content address of a JSON-able value: SHA-256 over its
+    canonical encoding.
+
+    Two structurally identical values share an address no matter who
+    computed it or in what field order - the property the run store's
+    dedupe and the divergence buckets rely on.
+    """
+    return sha256_hex(canonical_json(value))

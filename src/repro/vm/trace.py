@@ -39,6 +39,13 @@ from repro.vm.memory import Location
 _NO_EFFECTS: Tuple = ()
 
 
+# The per-step fields two runs can observably disagree on, in the order
+# a field-level diff reports them.  ``index`` is excluded: positions are
+# the comparison *key*, not an observable effect.
+STEP_FIELDS = ("tid", "function", "pc", "op", "cost",
+               "reads", "writes", "sync", "io", "branch_taken")
+
+
 class StepRecord:
     """Observable effects of one executed instruction."""
 
@@ -87,6 +94,26 @@ class StepRecord:
         if not isinstance(other, StepRecord):
             return NotImplemented
         return self._key() == other._key()
+
+    def field_diffs(self, other: "StepRecord") -> List[Tuple[str, Any, Any]]:
+        """Field-level differences against another step.
+
+        Returns ``(field, mine, theirs)`` triples over
+        :data:`STEP_FIELDS`, empty when the two steps are observably
+        identical.  Effect lists are compared as tuples so a trace whose
+        interpreter allocated lists and one restored from a snapshot
+        (shared tuples) compare equal - the same normalization
+        :meth:`_key` applies.
+        """
+        diffs: List[Tuple[str, Any, Any]] = []
+        for name in STEP_FIELDS:
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if name in ("reads", "writes"):
+                mine, theirs = tuple(mine), tuple(theirs)
+            if mine != theirs:
+                diffs.append((name, mine, theirs))
+        return diffs
 
     def __repr__(self) -> str:
         extras = []
@@ -269,6 +296,28 @@ class Trace:
         """Per-thread branch outcome sequences (path-determinism checks)."""
         self._extend_indexes()
         return {tid: list(path) for tid, path in self._branch_paths.items()}
+
+    # -- step-keyed comparison -------------------------------------------
+
+    def first_divergence(self, other: "Trace"
+                         ) -> Optional[Tuple[int,
+                                             List[Tuple[str, Any, Any]]]]:
+        """First step where this trace and ``other`` observably differ.
+
+        Walks the common step prefix and returns ``(index, diffs)`` for
+        the first position whose records disagree, where ``diffs`` is
+        the per-field ``(field, mine, theirs)`` breakdown from
+        :meth:`StepRecord.field_diffs` - the structured replacement for
+        "the fingerprints differ".  Returns ``None`` when the common
+        prefix is identical; a pure length difference is the *caller's*
+        verdict (truncation, not divergence), because whichever run is
+        shorter executed no step to disagree at.
+        """
+        for mine, theirs in zip(self.steps, other.steps):
+            diffs = mine.field_diffs(theirs)
+            if diffs:
+                return mine.index, diffs
+        return None
 
     def fingerprint(self) -> str:
         """Stable digest of the full observable behaviour of this run.

@@ -17,8 +17,7 @@ from repro.apps import racy_counter
 from repro.apps.base import find_failing_seed
 from repro.corpus.generator import generate_case
 from repro.errors import ReproError, UnknownModelError
-from repro.harness.experiments import (MODEL_ORDER, evaluate_app_model,
-                                       make_recorder, make_replayer)
+from repro.harness.experiments import MODEL_ORDER, evaluate_app_model
 from repro.models import (DebugSession, DeterminismModel, ModelConfig,
                           get_model, model_order, register_model,
                           registered_models, replay_log, resolve_case,
@@ -121,24 +120,18 @@ def _toy_recorder():
     return recorder
 
 
-# -- deprecated shims ---------------------------------------------------------
+# -- registry factories -------------------------------------------------------
 
 
 @pytest.mark.parametrize("model", MODEL_ORDER)
-def test_factory_shims_match_the_registry(case, seed, model):
-    """make_recorder/make_replayer construct exactly the registry's types."""
+def test_registry_constructs_the_expected_types(case, seed, model):
+    """get_model(...) factories build each model's recorder/replayer."""
     config = ModelConfig.from_case(case)
-    with pytest.deprecated_call():
-        shim_recorder = make_recorder(model, case)
-    assert type(shim_recorder) is type(
-        get_model(model).make_recorder(config))
-    assert type(shim_recorder) is EXPECTED_RECORDERS[model]
+    recorder = get_model(model).make_recorder(config)
+    assert type(recorder) is EXPECTED_RECORDERS[model]
     log = _record(case, model, seed)
-    with pytest.deprecated_call():
-        shim_replayer = make_replayer(model, case, log)
-    assert type(shim_replayer) is type(
-        get_model(model).make_replayer(config, log))
-    assert type(shim_replayer) is EXPECTED_REPLAYERS[model]
+    replayer = get_model(model).make_replayer(config, log)
+    assert type(replayer) is EXPECTED_REPLAYERS[model]
 
 
 # -- self-describing logs + round trip over every model -----------------------
